@@ -1,0 +1,231 @@
+package lshjoin
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"lshjoin/internal/experiments"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (DESIGN.md §5 maps IDs to paper artifacts) at bench scale.
+// Dataset environments and exact ground truth are cached across iterations,
+// so iteration time measures the estimation work itself.
+//
+// Set LSHJOIN_BENCH_PRINT=1 to print the regenerated tables; cmd/vsjbench
+// produces the same rows at full experiment scale.
+
+var benchSuite struct {
+	once sync.Once
+	s    *experiments.Suite
+}
+
+func suiteForBench() *experiments.Suite {
+	benchSuite.once.Do(func() {
+		benchSuite.s = experiments.NewSuite(experiments.Config{
+			DBLPN:   6000,
+			NYTN:    2000,
+			PubMedN: 3000,
+			Reps:    10,
+			Seed:    42,
+		})
+	})
+	return benchSuite.s
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	s := suiteForBench()
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tables []*experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = runner(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if os.Getenv("LSHJOIN_BENCH_PRINT") != "" {
+		if err := experiments.RenderAll(os.Stdout, tables); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Probabilities regenerates Table 1 (exact stratum
+// probabilities on DBLP).
+func BenchmarkTable1Probabilities(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkJoinSizeTable regenerates the §6.2 join size/selectivity table.
+func BenchmarkJoinSizeTable(b *testing.B) { runExperiment(b, "joinsize") }
+
+// BenchmarkFigure2DBLP regenerates Figure 2 (accuracy/variance, DBLP).
+func BenchmarkFigure2DBLP(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFigure3NYT regenerates Figure 3 (accuracy/variance, NYT).
+func BenchmarkFigure3NYT(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFigure4ImpactOfK regenerates Figure 4 (k sweep at τ = 0.5, 0.8).
+func BenchmarkFigure4ImpactOfK(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkSpaceTable regenerates the §6.3 LSH-table-size-vs-k table.
+func BenchmarkSpaceTable(b *testing.B) { runExperiment(b, "space") }
+
+// BenchmarkRuntimeTable regenerates the §6.2 runtime comparison.
+func BenchmarkRuntimeTable(b *testing.B) { runExperiment(b, "runtime") }
+
+// BenchmarkFigure5DeltaError regenerates Figure 5 (δ sweep, average error).
+func BenchmarkFigure5DeltaError(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFigure6DeltaBigErrors regenerates Figure 6 (δ sweep, ≥10× errors).
+func BenchmarkFigure6DeltaBigErrors(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7SampleSizeError regenerates Figure 7 (m sweep, avg error).
+func BenchmarkFigure7SampleSizeError(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFigure8SampleSizeBigErrors regenerates Figure 8 (m sweep, ≥10×).
+func BenchmarkFigure8SampleSizeBigErrors(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkCsSweep regenerates App. C.3 (dampened scale-up factor study).
+func BenchmarkCsSweep(b *testing.B) { runExperiment(b, "cs") }
+
+// BenchmarkFigure9PubMed regenerates Figure 9 (PUBMED, k = 5).
+func BenchmarkFigure9PubMed(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkTable2AlphaBeta regenerates Table 2 (α/β on NYT and PUBMED).
+func BenchmarkTable2AlphaBeta(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkIndexBuild regenerates the App. C.1 build-time table.
+func BenchmarkIndexBuild(b *testing.B) { runExperiment(b, "build") }
+
+// Ablation benchmarks (DESIGN.md §7).
+
+func ablationBench(b *testing.B, run func(*experiments.Suite) (*experiments.Table, error)) {
+	b.Helper()
+	s := suiteForBench()
+	var table *experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if os.Getenv("LSHJOIN_BENCH_PRINT") != "" {
+		if err := table.Render(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationJUClosedVsNumeric compares Eq. 4 with numeric p(s)^k.
+func BenchmarkAblationJUClosedVsNumeric(b *testing.B) {
+	ablationBench(b, (*experiments.Suite).AblationJU)
+}
+
+// BenchmarkAblationSafeLowerBound quantifies the safe-lower-bound rule.
+func BenchmarkAblationSafeLowerBound(b *testing.B) {
+	ablationBench(b, (*experiments.Suite).AblationSafeLowerBound)
+}
+
+// BenchmarkAblationStratification compares stratified vs uniform sampling at
+// an equal budget.
+func BenchmarkAblationStratification(b *testing.B) {
+	ablationBench(b, (*experiments.Suite).AblationStratification)
+}
+
+// BenchmarkAblationMultiTable compares single-table, median, and
+// virtual-bucket estimators.
+func BenchmarkAblationMultiTable(b *testing.B) {
+	ablationBench(b, (*experiments.Suite).AblationMultiTable)
+}
+
+// BenchmarkAblationLC places the adapted Lattice Counting baseline.
+func BenchmarkAblationLC(b *testing.B) {
+	ablationBench(b, (*experiments.Suite).AblationLC)
+}
+
+// Micro-benchmarks: per-operation costs of the public API.
+
+func benchCollection(b *testing.B, n int) *Collection {
+	b.Helper()
+	vecs, err := GenerateDataset(DatasetDBLP, n, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(vecs, Options{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkEstimateLSHSS measures one LSH-SS estimate (m_H = m_L = n).
+func BenchmarkEstimateLSHSS(b *testing.B) {
+	c := benchCollection(b, 5000)
+	est, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateRSPop measures one RS(pop) estimate (m = 1.5n).
+func BenchmarkEstimateRSPop(b *testing.B) {
+	c := benchCollection(b, 5000)
+	est, err := c.Estimator(AlgoRSPop, WithEstimatorSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildIndex measures LSH index construction (k = 20, ℓ = 1).
+func BenchmarkBuildIndex(b *testing.B) {
+	vecs, err := GenerateDataset(DatasetDBLP, 5000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(vecs, Options{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactJoin measures the inverted-index exact join over the τ grid.
+func BenchmarkExactJoin(b *testing.B) {
+	vecs, err := GenerateDataset(DatasetDBLP, 5000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := New(vecs, Options{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.ExactJoinSize(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

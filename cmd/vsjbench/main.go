@@ -1,0 +1,80 @@
+// Command vsjbench regenerates the paper's evaluation: every table and
+// figure of §6 and Appendix C as markdown tables (the same rows/series the
+// paper reports), at a configurable scale.
+//
+// Usage:
+//
+//	vsjbench -all                       # full suite, default scale
+//	vsjbench -exp fig2 -reps 100        # one experiment, paper's repetitions
+//	vsjbench -all -dblp 8000 -reps 20   # quicker pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lshjoin/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id: "+strings.Join(experiments.IDs(), " | "))
+		all    = flag.Bool("all", false, "run the full suite")
+		dblp   = flag.Int("dblp", 0, "DBLP-like collection size (default 20000)")
+		nyt    = flag.Int("nyt", 0, "NYT-like collection size (default 5000)")
+		pubmed = flag.Int("pubmed", 0, "PUBMED-like collection size (default 8000)")
+		reps   = flag.Int("reps", 0, "estimates per cell (default 50; paper uses 100)")
+		seed   = flag.Uint64("seed", 0, "suite seed (default 42)")
+		out    = flag.String("out", "", "write markdown to file instead of stdout")
+	)
+	flag.Parse()
+	if err := run(*exp, *all, *dblp, *nyt, *pubmed, *reps, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "vsjbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, all bool, dblp, nyt, pubmed, reps int, seed uint64, out string) error {
+	if !all && exp == "" {
+		return fmt.Errorf("pass -all or -exp <id>; ids: %s", strings.Join(experiments.IDs(), ", "))
+	}
+	suite := experiments.NewSuite(experiments.Config{
+		DBLPN: dblp, NYTN: nyt, PubMedN: pubmed, Reps: reps, Seed: seed,
+	})
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg := suite.Config()
+	fmt.Fprintf(w, "# lshjoin experiment run\n\n")
+	fmt.Fprintf(w, "Scale: DBLP n=%d, NYT n=%d, PUBMED n=%d; reps/cell=%d; seed=%d.\n\n",
+		cfg.DBLPN, cfg.NYTN, cfg.PubMedN, cfg.Reps, cfg.Seed)
+	t0 := time.Now()
+	var tables []*experiments.Table
+	var err error
+	if all {
+		tables, err = suite.RunAll()
+	} else {
+		runner, ok := experiments.Registry()[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; ids: %s", exp, strings.Join(experiments.IDs(), ", "))
+		}
+		tables, err = runner(suite)
+	}
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderAll(w, tables); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Total runtime: %v.\n", time.Since(t0).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", false, 0, 0, 0, 0, 0, ""); err == nil {
+		t.Error("neither -all nor -exp rejected")
+	}
+	if err := run("nope", false, 100, 100, 100, 2, 1, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperimentToFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (tiny) experiment")
+	}
+	out := filepath.Join(t.TempDir(), "out.md")
+	if err := run("space", false, 800, 200, 200, 2, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{"LSH table size vs k", "| k ", "Total runtime"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command vsjest estimates the similarity self-join size of a vector dataset
+// at one or more thresholds, optionally comparing against the exact answer.
+//
+// Usage:
+//
+//	vsjest -in dblp.vsjv -tau 0.5,0.7,0.9 -algo lsh-ss -reps 10 -exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lshjoin"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input dataset file from vsjgen (required)")
+		tauList = flag.String("tau", "0.5,0.7,0.9", "comma-separated thresholds")
+		algo    = flag.String("algo", string(lshjoin.AlgoLSHSS), "algorithm: "+algoList())
+		k       = flag.Int("k", 20, "LSH hash functions per table")
+		tables  = flag.Int("tables", 1, "LSH tables ℓ (median/virtual need > 1)")
+		seed    = flag.Uint64("seed", 1, "hashing/sampling seed")
+		reps    = flag.Int("reps", 5, "estimates per threshold (reports mean)")
+		exact   = flag.Bool("exact", false, "also compute the exact join size")
+		jaccard = flag.Bool("jaccard", false, "use Jaccard similarity instead of cosine")
+	)
+	flag.Parse()
+	if err := run(*in, *tauList, *algo, *k, *tables, *seed, *reps, *exact, *jaccard); err != nil {
+		fmt.Fprintln(os.Stderr, "vsjest:", err)
+		os.Exit(1)
+	}
+}
+
+func algoList() string {
+	names := make([]string, 0)
+	for _, a := range lshjoin.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, " | ")
+}
+
+func run(in, tauList, algo string, k, tables int, seed uint64, reps int, exact, jaccard bool) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be ≥ 1")
+	}
+	taus, err := parseTaus(tauList)
+	if err != nil {
+		return err
+	}
+	vecs, err := lshjoin.LoadVectors(in)
+	if err != nil {
+		return err
+	}
+	opt := lshjoin.Options{K: k, Tables: tables, Seed: seed}
+	if jaccard {
+		opt.Measure = lshjoin.JaccardSimilarity
+	}
+	t0 := time.Now()
+	coll, err := lshjoin.New(vecs, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d vectors (k=%d, ℓ=%d) in %v; index ≈ %.1f MB, N_H = %d\n",
+		coll.N(), coll.K(), coll.Tables(), time.Since(t0).Round(time.Millisecond),
+		float64(coll.IndexBytes())/(1<<20), coll.PairsSharingBucket())
+	est, err := coll.Estimator(lshjoin.Algorithm(algo), lshjoin.WithEstimatorSeed(seed+1))
+	if err != nil {
+		return err
+	}
+	for _, tau := range taus {
+		var sum float64
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			v, err := est.Estimate(tau)
+			if err != nil {
+				return err
+			}
+			sum += v
+		}
+		per := time.Since(t0) / time.Duration(reps)
+		line := fmt.Sprintf("τ=%.2f  %s ≈ %.0f  (%v/estimate, mean of %d)", tau, est.Name(), sum/float64(reps), per.Round(time.Microsecond), reps)
+		if exact {
+			t1 := time.Now()
+			truth, err := coll.ExactJoinSize(tau)
+			if err != nil {
+				return err
+			}
+			line += fmt.Sprintf("  exact = %d (%v)", truth, time.Since(t1).Round(time.Millisecond))
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func parseTaus(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thresholds given")
+	}
+	return out, nil
+}

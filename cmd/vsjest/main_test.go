@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseTaus(t *testing.T) {
+	got, err := parseTaus("0.5, 0.7 ,0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.5 || got[1] != 0.7 || got[2] != 0.9 {
+		t.Errorf("parseTaus = %v", got)
+	}
+	if _, err := parseTaus("0.5,abc"); err == nil {
+		t.Error("garbage threshold accepted")
+	}
+	if _, err := parseTaus(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "0.5", "lsh-ss", 20, 1, 1, 5, false, false); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run("x.vsjv", "0.5", "lsh-ss", 20, 1, 1, 0, false, false); err == nil {
+		t.Error("zero reps accepted")
+	}
+	if err := run("/nonexistent/file.vsjv", "0.5", "lsh-ss", 20, 1, 1, 5, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,48 @@
+// Command vsjgen generates a synthetic vector dataset (one of the paper's
+// three corpus shapes) and writes it in the lshjoin binary format.
+//
+// Usage:
+//
+//	vsjgen -kind dblp -n 20000 -seed 42 -out dblp.vsjv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lshjoin"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "dblp", "dataset kind: dblp | nyt | pubmed")
+		n    = flag.Int("n", 20000, "number of vectors")
+		seed = flag.Uint64("seed", 42, "generator seed")
+		out  = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if err := run(*kind, *n, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "vsjgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n int, seed uint64, out string) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	vecs, err := lshjoin.GenerateDataset(lshjoin.DatasetKind(kind), n, seed)
+	if err != nil {
+		return err
+	}
+	if err := lshjoin.SaveVectors(out, vecs); err != nil {
+		return err
+	}
+	k, err := lshjoin.RecommendedK(lshjoin.DatasetKind(kind))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %s vectors to %s (recommended LSH k: %d)\n", len(vecs), kind, out, k)
+	return nil
+}

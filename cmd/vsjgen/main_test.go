@@ -1,0 +1,31 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lshjoin"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run("dblp", 10, 1, ""); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("bogus", 10, 1, filepath.Join(t.TempDir(), "x.vsjv")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.vsjv")
+	if err := run("dblp", 50, 3, path); err != nil {
+		t.Fatal(err)
+	}
+	vecs, err := lshjoin.LoadVectors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 50 {
+		t.Errorf("loaded %d vectors, want 50", len(vecs))
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lshjoin"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", 0.9, 10); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run("/nonexistent.vsjv", 0.9, 10); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunCountAndPairs(t *testing.T) {
+	vecs, err := lshjoin.GenerateDataset(lshjoin.DatasetDBLP, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.vsjv")
+	if err := lshjoin.SaveVectors(path, vecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 0.5, 0); err != nil {
+		t.Errorf("count mode: %v", err)
+	}
+	if err := run(path, 0.5, 3); err != nil {
+		t.Errorf("pairs mode: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package lshjoin
+
+import (
+	"fmt"
+
+	"lshjoin/internal/core"
+	"lshjoin/internal/dataset"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecio"
+	"lshjoin/internal/xrand"
+)
+
+// DatasetKind names one of the built-in synthetic workload generators that
+// replay the shapes of the paper's evaluation corpora (see DESIGN.md §3).
+type DatasetKind string
+
+// Built-in dataset kinds.
+const (
+	// DatasetDBLP: binary title vectors, ~56k vocab, avg ~14 features,
+	// near/exact duplicate clusters (paper's DBLP, §6.1).
+	DatasetDBLP DatasetKind = "dblp"
+	// DatasetNYT: long TF-IDF articles, ~100k vocab, avg ~232 features.
+	DatasetNYT DatasetKind = "nyt"
+	// DatasetPubMed: largely dissimilar TF-IDF abstracts, ~140k vocab
+	// (App. C.4's small-k regime).
+	DatasetPubMed DatasetKind = "pubmed"
+)
+
+// GenerateDataset produces n vectors of the given kind, deterministically
+// from seed.
+func GenerateDataset(kind DatasetKind, n int, seed uint64) ([]Vector, error) {
+	d, err := dataset.Generate(dataset.Kind(kind), n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return d.Vectors, nil
+}
+
+// RecommendedK returns the paper's LSH parameter for a dataset kind (20 for
+// DBLP/NYT, 5 for PubMed-like dissimilar data).
+func RecommendedK(kind DatasetKind) (int, error) {
+	d, err := dataset.Generate(dataset.Kind(kind), 2, 1)
+	if err != nil {
+		return 0, err
+	}
+	return d.RecommendedK, nil
+}
+
+// SaveVectors writes a collection to path in the compact binary format of
+// cmd/vsjgen (atomic rename).
+func SaveVectors(path string, vectors []Vector) error {
+	return vecio.WriteFile(path, vectors)
+}
+
+// LoadVectors reads a collection written by SaveVectors.
+func LoadVectors(path string) ([]Vector, error) {
+	return vecio.ReadFile(path)
+}
+
+// CrossJoin estimates general (non-self) join sizes between two collections
+// hashed with the same LSH functions (App. B.2.2).
+type CrossJoin struct {
+	left, right []Vector
+	sim         core.SimFunc
+	bp          *lsh.Bipartite
+	seed        uint64
+	seedCtr     uint64
+}
+
+// NewCrossJoin indexes both sides with identical hash functions. Options
+// semantics match New; Tables is forced to 1.
+func NewCrossJoin(left, right []Vector, opt Options) (*CrossJoin, error) {
+	opt.fillDefaults()
+	opt.Tables = 1
+	if len(left) == 0 || len(right) == 0 {
+		return nil, fmt.Errorf("lshjoin: cross join needs non-empty sides")
+	}
+	var family lsh.Family
+	var sim core.SimFunc
+	switch opt.Measure {
+	case CosineSimilarity:
+		family = lsh.NewSimHash(opt.Seed)
+		sim = Cosine
+	case JaccardSimilarity:
+		family = lsh.NewMinHash(opt.Seed)
+		sim = Jaccard
+	default:
+		return nil, fmt.Errorf("lshjoin: unknown measure %d", opt.Measure)
+	}
+	li, err := lsh.Build(left, family, opt.K, 1)
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: left index: %w", err)
+	}
+	ri, err := lsh.Build(right, family, opt.K, 1)
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: right index: %w", err)
+	}
+	bp, err := lsh.NewBipartite(li, ri, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: %w", err)
+	}
+	return &CrossJoin{left: left, right: right, sim: sim, bp: bp, seed: opt.Seed}, nil
+}
+
+// EstimateJoinSize runs the general LSH-SS estimator at tau with the default
+// budget (m_H = m_L = (|U|+|V|)/2).
+func (cj *CrossJoin) EstimateJoinSize(tau float64) (float64, error) {
+	return cj.EstimateJoinSizeBudget(tau, 0, 0)
+}
+
+// EstimateJoinSizeBudget runs general LSH-SS with explicit per-stratum
+// sample budgets (≤ 0 keeps the default). Larger m_L widens the reliable
+// regime of SampleL at mid thresholds at proportional cost.
+func (cj *CrossJoin) EstimateJoinSizeBudget(tau float64, mH, mL int) (float64, error) {
+	cj.seedCtr++
+	var opts []core.GeneralOption
+	if mH > 0 || mL > 0 {
+		n := (len(cj.left) + len(cj.right)) / 2
+		if mH <= 0 {
+			mH = n
+		}
+		if mL <= 0 {
+			mL = n
+		}
+		opts = append(opts, core.WithGeneralSampleSizes(mH, mL))
+	}
+	est, err := core.NewGeneralLSHSS(cj.bp, cj.sim, opts...)
+	if err != nil {
+		return 0, err
+	}
+	return est.Estimate(tau, xrand.New(xrand.Mix2(cj.seed^0xC105515, cj.seedCtr)))
+}
+
+// ExactJoinSize computes the true cross-join size by exhaustive comparison
+// (O(|U|·|V|); for validation and modest sizes).
+func (cj *CrossJoin) ExactJoinSize(tau float64) int64 {
+	return core.ExactGeneralJoin(cj.left, cj.right, cj.sim, tau)
+}
+
+// PairsSharingBucket returns N_H = Σ b_j·c_i over buckets with matching g
+// values — the bipartite analogue of the extended index's bucket counts.
+func (cj *CrossJoin) PairsSharingBucket() int64 { return cj.bp.NH() }
+
+// SuggestK runs the Optimal-k heuristic of App. B.1 (Definition 4): the
+// minimum k ∈ [kMin, kMax] whose stratum-H precision P(T|H) at the reference
+// threshold reaches rho, measured on the given vectors with cosine SimHash.
+// If no candidate reaches rho, kMax is returned (the appendix notes data
+// without duplicates may cap precision below any target).
+func SuggestK(vectors []Vector, tauRef, rho float64, kMin, kMax int, seed uint64) (int, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	k, _, err := core.OptimalK(vectors, lsh.NewSimHash(seed), nil, tauRef, rho,
+		kMin, kMax, 4000, 4000, xrand.New(seed^0x0B71))
+	return k, err
+}

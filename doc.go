@@ -1,0 +1,29 @@
+// Package lshjoin estimates the size of vector similarity self-joins and
+// cross-joins using Locality Sensitive Hashing, implementing Lee, Ng and
+// Shim, "Similarity Join Size Estimation using Locality Sensitive Hashing"
+// (PVLDB 4(6), 2011).
+//
+// Given a collection of sparse vectors and a cosine (or Jaccard) similarity
+// threshold τ, the package answers "how many pairs have similarity ≥ τ?"
+// quickly and reliably across the whole threshold range — including the very
+// high thresholds (selectivity ~1e-7 %) where plain random sampling
+// fluctuates between zero and enormous overestimates. The headline
+// algorithm, LSH-SS, stratifies the pair space by an LSH table into
+// co-bucketed pairs (sampled directly, with bucket-count weighting) and
+// everything else (Lipton-style adaptive sampling with a safe lower bound),
+// needing only bucket counts on top of a standard LSH index.
+//
+// # Quick start
+//
+//	vecs, _ := lshjoin.GenerateDataset(lshjoin.DatasetDBLP, 10000, 42)
+//	coll, _ := lshjoin.New(vecs, lshjoin.Options{})
+//	est, _ := coll.EstimateJoinSize(0.8) // LSH-SS with paper defaults
+//	exact, _ := coll.ExactJoinSize(0.8)  // inverted-index ground truth
+//
+// Beyond LSH-SS the package ships every algorithm of the paper's evaluation
+// (RS(pop), RS(cross), J_U, LSH-S, LSH-SS(D), the adapted Lattice Counting
+// baseline, the multi-table median and virtual-bucket estimators, and the
+// non-self-join variants), an exact similarity join for ground truth, and a
+// benchmark harness regenerating every table and figure of the paper — see
+// DESIGN.md and EXPERIMENTS.md.
+package lshjoin

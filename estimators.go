@@ -1,0 +1,186 @@
+package lshjoin
+
+import (
+	"fmt"
+
+	"lshjoin/internal/core"
+	"lshjoin/internal/lc"
+	"lshjoin/internal/xrand"
+)
+
+// Algorithm names a join-size estimation algorithm from the paper.
+type Algorithm string
+
+// The algorithms of the paper's evaluation (§3–§5, Appendices B–C).
+const (
+	// AlgoLSHSS is Algorithm 1: stratified sampling with a safe lower bound.
+	AlgoLSHSS Algorithm = "lsh-ss"
+	// AlgoLSHSSD is LSH-SS with the dampened scale-up c_s = n_L/δ.
+	AlgoLSHSSD Algorithm = "lsh-ss-d"
+	// AlgoRSPop is uniform random pair sampling (§3.1).
+	AlgoRSPop Algorithm = "rs-pop"
+	// AlgoRSCross is cross sampling: √m records, all pairs among them (§3.1).
+	AlgoRSCross Algorithm = "rs-cross"
+	// AlgoLSHS is LSH-S: sample-weighted collision analysis (§4.3).
+	AlgoLSHS Algorithm = "lsh-s"
+	// AlgoJU is the closed-form uniformity estimator, Equation (4).
+	AlgoJU Algorithm = "ju"
+	// AlgoJUNumeric is J_U with the family's true collision curve integrated
+	// numerically instead of Definition 3's idealized p(s) = s.
+	AlgoJUNumeric Algorithm = "ju-numeric"
+	// AlgoLC is the adapted Lattice Counting baseline (§3.2).
+	AlgoLC Algorithm = "lc"
+	// AlgoMedian is the per-table median estimator (App. B.2.1, needs ℓ > 1).
+	AlgoMedian Algorithm = "median"
+	// AlgoVirtual is the virtual-bucket estimator (App. B.2.1, needs ℓ > 1).
+	AlgoVirtual Algorithm = "virtual"
+)
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoLSHSS, AlgoLSHSSD, AlgoRSPop, AlgoRSCross, AlgoLSHS,
+		AlgoJU, AlgoJUNumeric, AlgoLC, AlgoMedian, AlgoVirtual,
+	}
+}
+
+// Estimator produces join-size estimates. Implementations returned by
+// Collection.Estimator own their random state: calls are reproducible for a
+// fixed EstimatorSeed and estimator construction order.
+type Estimator interface {
+	// Name identifies the algorithm and configuration.
+	Name() string
+	// Estimate returns an estimate of the join size at tau (always ≥ 0).
+	Estimate(tau float64) (float64, error)
+}
+
+// EstimatorOption tunes estimator construction.
+type EstimatorOption func(*estOpts)
+
+type estOpts struct {
+	sampleH int
+	sampleL int
+	delta   int
+	damp    float64 // DampConst factor; 0 = keep algorithm default
+	seed    uint64
+	support int // LC min support ξ
+}
+
+// WithSampleBudget sets the per-stratum sample sizes (LSH-SS: m_H and m_L;
+// RS/LSH-S use budgetH as their pair budget m).
+func WithSampleBudget(budgetH, budgetL int) EstimatorOption {
+	return func(o *estOpts) { o.sampleH, o.sampleL = budgetH, budgetL }
+}
+
+// WithDelta sets LSH-SS's answer-size threshold δ.
+func WithDelta(delta int) EstimatorOption {
+	return func(o *estOpts) { o.delta = delta }
+}
+
+// WithDampFactor sets a constant dampened scale-up factor c_s ∈ (0, 1]
+// (LSH-SS family only; see App. C.3).
+func WithDampFactor(cs float64) EstimatorOption {
+	return func(o *estOpts) { o.damp = cs }
+}
+
+// WithEstimatorSeed fixes the estimator's random stream for reproducibility.
+func WithEstimatorSeed(seed uint64) EstimatorOption {
+	return func(o *estOpts) { o.seed = seed }
+}
+
+// WithMinSupport sets Lattice Counting's support threshold ξ.
+func WithMinSupport(xi int) EstimatorOption {
+	return func(o *estOpts) { o.support = xi }
+}
+
+// seeded adapts a core estimator to the public interface with owned RNG.
+type seeded struct {
+	inner core.Estimator
+	rng   *xrand.RNG
+}
+
+func (s *seeded) Name() string { return s.inner.Name() }
+
+func (s *seeded) Estimate(tau float64) (float64, error) {
+	return s.inner.Estimate(tau, s.rng)
+}
+
+// Estimator constructs the requested algorithm over this collection.
+func (c *Collection) Estimator(algo Algorithm, opts ...EstimatorOption) (Estimator, error) {
+	var o estOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.seed == 0 {
+		o.seed = c.nextSeed()
+	}
+	tab := c.index.Table(0)
+	var ssOpts []core.LSHSSOption
+	if o.sampleH > 0 || o.sampleL > 0 {
+		h, l := o.sampleH, o.sampleL
+		if h <= 0 {
+			h = len(c.vectors)
+		}
+		if l <= 0 {
+			l = len(c.vectors)
+		}
+		ssOpts = append(ssOpts, core.WithSampleSizes(h, l))
+	}
+	if o.delta > 0 {
+		ssOpts = append(ssOpts, core.WithDelta(o.delta))
+	}
+	var inner core.Estimator
+	var err error
+	switch algo {
+	case AlgoLSHSS:
+		if o.damp > 0 {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
+		}
+		inner, err = core.NewLSHSS(tab, c.vectors, c.sim, ssOpts...)
+	case AlgoLSHSSD:
+		if o.damp > 0 {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
+		} else {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampAuto, 0))
+		}
+		inner, err = core.NewLSHSS(tab, c.vectors, c.sim, ssOpts...)
+	case AlgoRSPop:
+		inner, err = core.NewRSPop(c.vectors, c.sim, o.sampleH)
+	case AlgoRSCross:
+		inner, err = core.NewRSCross(c.vectors, c.sim, o.sampleH)
+	case AlgoLSHS:
+		inner, err = core.NewLSHS(tab, c.family, c.vectors, o.sampleH)
+	case AlgoJU:
+		inner, err = core.NewJU(tab, c.family, core.JUClosedForm)
+	case AlgoJUNumeric:
+		inner, err = core.NewJU(tab, c.family, core.JUNumeric)
+	case AlgoLC:
+		cfg := lc.Config{K: c.opt.K, Seed: o.seed}
+		if o.support > 0 {
+			cfg.MinSupport = o.support
+		}
+		inner, err = lc.New(c.vectors, c.family, cfg)
+	case AlgoMedian:
+		if c.opt.Tables < 2 {
+			return nil, fmt.Errorf("lshjoin: %s needs Options.Tables > 1 (have %d)", algo, c.opt.Tables)
+		}
+		if o.damp > 0 {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
+		}
+		inner, err = core.NewMedianSS(c.index, c.sim, ssOpts...)
+	case AlgoVirtual:
+		if c.opt.Tables < 2 {
+			return nil, fmt.Errorf("lshjoin: %s needs Options.Tables > 1 (have %d)", algo, c.opt.Tables)
+		}
+		if o.damp > 0 {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
+		}
+		inner, err = core.NewVirtualSS(c.index, c.sim, ssOpts...)
+	default:
+		return nil, fmt.Errorf("lshjoin: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: %s: %w", algo, err)
+	}
+	return &seeded{inner: inner, rng: xrand.New(o.seed)}, nil
+}

@@ -1,0 +1,72 @@
+package lshjoin_test
+
+import (
+	"fmt"
+	"log"
+
+	"lshjoin"
+)
+
+// The basic workflow: index once, then estimate join sizes at any threshold.
+func ExampleNew() {
+	vecs, err := lshjoin.GenerateDataset(lshjoin.DatasetDBLP, 2000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coll, err := lshjoin.New(vecs, lshjoin.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	estimate, err := coll.EstimateJoinSize(0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := coll.ExactJoinSize(0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate and exact agree within 5x: %v\n", estimate >= float64(exact)/5 && estimate <= float64(exact)*5)
+	// Output: estimate and exact agree within 5x: true
+}
+
+// Estimators are constructed per algorithm; a fixed seed makes them
+// reproducible.
+func ExampleCollection_Estimator() {
+	vecs, err := lshjoin.GenerateDataset(lshjoin.DatasetDBLP, 1000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coll, err := lshjoin.New(vecs, lshjoin.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := coll.Estimator(lshjoin.AlgoLSHSS, lshjoin.WithEstimatorSeed(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := coll.Estimator(lshjoin.AlgoLSHSS, lshjoin.WithEstimatorSeed(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, _ := a.Estimate(0.8)
+	y, _ := b.Estimate(0.8)
+	fmt.Printf("same seed, same estimate: %v\n", x == y)
+	fmt.Printf("algorithm: %s\n", a.Name())
+	// Output:
+	// same seed, same estimate: true
+	// algorithm: LSH-SS
+}
+
+// Vectors are sparse (dimension, weight) lists; binary vectors model sets.
+func ExampleNewVector() {
+	v, err := lshjoin.NewVector([]lshjoin.Entry{
+		{Dim: 10, Weight: 0.5},
+		{Dim: 3, Weight: 1.5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := lshjoin.BinaryVector([]uint32{3, 10})
+	fmt.Printf("nnz=%d cosine=%.3f\n", v.NNZ(), lshjoin.Cosine(v, w))
+	// Output: nnz=2 cosine=0.894
+}

@@ -1,0 +1,71 @@
+// Near-duplicate detection: size the duplicate problem *before* paying for
+// the full join — the data-cleaning workflow that motivates the paper.
+//
+// A pipeline that wants to deduplicate a corpus faces a choice: running the
+// exact similarity join is expensive, so first ask the estimator (milliseconds)
+// whether there is anything to clean, then run the join only if it pays.
+//
+//	go run ./examples/neardup
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lshjoin"
+)
+
+func main() {
+	// NYT-shaped corpus: long TF-IDF articles with syndicated near-copies.
+	vecs, err := lshjoin.GenerateDataset(lshjoin.DatasetNYT, 4000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coll, err := lshjoin.New(vecs, lshjoin.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const tau = 0.9 // "near-duplicate" similarity bar
+
+	// Step 1: estimate. This samples the LSH index; no full join happens.
+	est, err := coll.Estimator(lshjoin.AlgoLSHSS, lshjoin.WithEstimatorSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	guess, err := est.Estimate(tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated near-duplicate pairs at τ=%.1f: ~%.0f (took %v)\n",
+		tau, guess, time.Since(t0).Round(time.Microsecond))
+
+	// Step 2: decide. Suppose cleaning is worth scheduling when at least
+	// ~0.01% of records look duplicated.
+	budget := float64(coll.N()) / 10000
+	if guess < budget {
+		fmt.Printf("below the cleaning budget threshold (%.1f) — skip the join\n", budget)
+		return
+	}
+
+	// Step 3: run the exact prefix-filtered join and show the clusters.
+	t0 = time.Now()
+	pairs, err := coll.JoinPairs(tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact join found %d near-duplicate pairs (took %v)\n",
+		len(pairs), time.Since(t0).Round(time.Millisecond))
+	show := len(pairs)
+	if show > 5 {
+		show = 5
+	}
+	for _, p := range pairs[:show] {
+		fmt.Printf("  records %5d and %5d: cosine %.4f\n", p.U, p.V, p.Sim)
+	}
+	if len(pairs) > show {
+		fmt.Printf("  ... %d more\n", len(pairs)-show)
+	}
+}

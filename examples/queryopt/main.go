@@ -1,0 +1,134 @@
+// Query optimization: the paper's core motivation. A similarity-join
+// operator inside a query plan needs an output-cardinality estimate so the
+// optimizer can choose between plans; bad estimates pick bad plans, and
+// join-size errors propagate multiplicatively (Ioannidis & Christodoulakis,
+// cited in §1).
+//
+// This example prices a toy two-way plan choice for
+//
+//	Q: (V sim-join V at τ) ⋈ filter
+//
+// under a simple cost model: "join-first" streams the similarity join into
+// the filter (cost grows with the join output J), "filter-first" pays a
+// fixed pre-filtering pass that shrinks the quadratic term. The optimizer
+// runs 25 times per threshold with fresh estimates from LSH-SS and from
+// naive random sampling, and we account the *regret* — how much more the
+// chosen plan costs than the optimal one under the true J.
+//
+//	go run ./examples/queryopt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lshjoin"
+)
+
+func joinFirstCost(j float64) float64   { return 2e5 + 3*j }
+func filterFirstCost(j float64) float64 { return 1.2e6 + 0.2*j }
+
+func pick(j float64) string {
+	if joinFirstCost(j) <= filterFirstCost(j) {
+		return "join-first"
+	}
+	return "filter-first"
+}
+
+func costOf(plan string, j float64) float64 {
+	if plan == "join-first" {
+		return joinFirstCost(j)
+	}
+	return filterFirstCost(j)
+}
+
+func main() {
+	vecs, err := lshjoin.GenerateDataset(lshjoin.DatasetDBLP, 10000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coll, err := lshjoin.New(vecs, lshjoin.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lshSS, err := coll.Estimator(lshjoin.AlgoLSHSS, lshjoin.WithEstimatorSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := coll.Estimator(lshjoin.AlgoRSPop, lshjoin.WithEstimatorSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const reps = 25
+	fmt.Println("τ     true J     optimal plan   LSH-SS: right plans / avg regret   RS(pop): right plans / avg regret")
+	for _, tau := range []float64{0.2, 0.3, 0.4, 0.6, 0.9} {
+		truth, err := coll.ExactJoinSize(tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		j := float64(truth)
+		best := pick(j)
+		bestCost := costOf(best, j)
+		type agg struct {
+			right  int
+			regret float64
+		}
+		results := map[string]*agg{"ss": {}, "rs": {}}
+		for r := 0; r < reps; r++ {
+			for key, est := range map[string]lshjoin.Estimator{"ss": lshSS, "rs": rs} {
+				v, err := est.Estimate(tau)
+				if err != nil {
+					log.Fatal(err)
+				}
+				plan := pick(v)
+				if plan == best {
+					results[key].right++
+				}
+				results[key].regret += costOf(plan, j) - bestCost
+			}
+		}
+		ss, rsAgg := results["ss"], results["rs"]
+		fmt.Printf("%.1f %10d   %-12s   %2d/%d  /  %10.0f            %2d/%d  /  %10.0f\n",
+			tau, truth, best,
+			ss.right, reps, ss.regret/reps,
+			rsAgg.right, reps, rsAgg.regret/reps)
+	}
+	fmt.Println("\nAt low-to-mid τ both estimators price the plans fine — random")
+	fmt.Println("sampling is accurate when selectivity is high. The high-τ regime is")
+	fmt.Println("where they part ways. Second decision: the optimizer sizes the")
+	fmt.Println("memory grant for the operator consuming the join output from the")
+	fmt.Println("same cardinality estimate. Undergrants (est < J/2) spill to disk;")
+	fmt.Println("overgrants (est > 10·J) starve concurrent queries.")
+	fmt.Println()
+	fmt.Println("τ     true J   LSH-SS: spills / overgrants     RS(pop): spills / overgrants   (of 25 grants)")
+	for _, tau := range []float64{0.7, 0.8, 0.9} {
+		truth, err := coll.ExactJoinSize(tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		j := float64(truth)
+		type grants struct{ spill, over int }
+		res := map[string]*grants{"ss": {}, "rs": {}}
+		for r := 0; r < reps; r++ {
+			for key, est := range map[string]lshjoin.Estimator{"ss": lshSS, "rs": rs} {
+				v, err := est.Estimate(tau)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if v < j/2 {
+					res[key].spill++
+				}
+				if v > 10*j {
+					res[key].over++
+				}
+			}
+		}
+		fmt.Printf("%.1f %9d        %2d / %-2d                        %2d / %-2d\n",
+			tau, truth, res["ss"].spill, res["ss"].over, res["rs"].spill, res["rs"].over)
+	}
+	fmt.Println("\nRS(pop)'s estimate at high τ is almost always 0 (spill) and")
+	fmt.Println("occasionally thousands-fold too large (overgrant) — the fluctuation")
+	fmt.Println("§1 and Example 1 of the paper warn about. LSH-SS stays inside the")
+	fmt.Println("grant window because stratum H pins down the duplicate-driven mass.")
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lshjoin/internal/sample"
+	"lshjoin/internal/xrand"
+)
+
+// EstimateCurve estimates the whole selectivity curve J(τ) for a grid of
+// thresholds from a single sampling pass — the query-optimizer use case
+// where one similarity predicate is costed at many candidate thresholds.
+//
+// SampleH draws m_H stratum-H pairs once and records their similarities;
+// Ĵ_H(τ) is the recorded count ≥ τ scaled by N_H/m_H. SampleL draws one
+// stream of up to m_L stratum-L pairs and replays Algorithm 1's adaptive
+// stopping rule per threshold: if the δ-th success at level τ occurred at
+// draw i_τ, the adaptive estimator would have stopped there, giving
+// Ĵ_L(τ) = δ·N_L/i_τ; thresholds that never reach δ successes fall back to
+// the safe lower bound (or the dampened scale-up, matching the estimator's
+// configuration).
+//
+// The result is aligned with taus and is non-increasing after sorting taus
+// ascending, matching the monotonicity of the true curve.
+func (e *LSHSS) EstimateCurve(taus []float64, rng *xrand.RNG) ([]float64, error) {
+	if len(taus) == 0 {
+		return nil, fmt.Errorf("core: empty threshold grid")
+	}
+	for _, tau := range taus {
+		if err := validateTau(tau); err != nil {
+			return nil, err
+		}
+	}
+	if e.table.N() != len(e.data) {
+		return nil, fmt.Errorf("core: stale estimator: index has %d vectors, snapshot has %d (rebuild after Insert)", e.table.N(), len(e.data))
+	}
+	// Sorted view with back-mapping so the sampling pass is shared.
+	order := make([]int, len(taus))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return taus[order[a]] < taus[order[b]] })
+
+	// One SampleH pass: record similarities.
+	nh := e.table.NH()
+	simsH := make([]float64, 0, e.mH)
+	if nh > 0 {
+		for s := 0; s < e.mH; s++ {
+			i, j, ok := e.table.SamplePair(rng)
+			if !ok {
+				break
+			}
+			simsH = append(simsH, e.sim(e.data[i], e.data[j]))
+		}
+	}
+	sort.Float64s(simsH)
+
+	// One SampleL stream: record similarities in draw order.
+	nl := e.table.NL()
+	simsL := make([]float64, 0, e.mL)
+	if nl > 0 {
+		notSame := func(i, j int) bool { return !e.table.SameBucket(i, j) }
+		for s := 0; s < e.mL; s++ {
+			i, j, ok := sample.RejectPair(rng, len(e.data), notSame, e.maxReject)
+			if !ok {
+				break
+			}
+			simsL = append(simsL, e.sim(e.data[i], e.data[j]))
+		}
+	}
+
+	out := make([]float64, len(taus))
+	for _, idx := range order {
+		tau := taus[idx]
+		// Ĵ_H(τ): binary search over the sorted stratum-H similarities.
+		var jh float64
+		if len(simsH) > 0 {
+			hits := len(simsH) - sort.SearchFloat64s(simsH, tau)
+			jh = float64(hits) * float64(nh) / float64(e.mH)
+		}
+		// Ĵ_L(τ): replay the adaptive stopping rule on the recorded stream.
+		var jl float64
+		if nl > 0 {
+			hits := 0
+			stop := -1
+			for i, s := range simsL {
+				if s >= tau {
+					hits++
+					if hits == e.delta {
+						stop = i + 1 // the adaptive loop stops here
+						break
+					}
+				}
+			}
+			switch {
+			case stop > 0:
+				jl = float64(e.delta) * float64(nl) / float64(stop)
+			case e.alwaysScale:
+				jl = float64(hits) * float64(nl) / float64(e.mL)
+			default:
+				cs := 0.0
+				switch e.damp {
+				case DampOff:
+					jl = float64(hits)
+				case DampAuto:
+					cs = float64(hits) / float64(e.delta)
+					jl = float64(hits) * cs * float64(nl) / float64(e.mL)
+				case DampConst:
+					jl = float64(hits) * e.cs * float64(nl) / float64(e.mL)
+				}
+			}
+		}
+		out[idx] = clampEstimate(jh+jl, float64(e.table.M()))
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lshjoin/internal/exactjoin"
+	"lshjoin/internal/xrand"
+)
+
+func TestEstimateCurveValidation(t *testing.T) {
+	e, _ := lshssFor(t, 200, 8, 51, 52)
+	if _, err := e.EstimateCurve(nil, xrand.New(1)); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := e.EstimateCurve([]float64{0.5, 0}, xrand.New(1)); err == nil {
+		t.Error("tau=0 accepted")
+	}
+}
+
+// TestEstimateCurveMonotone: the estimated curve must be non-increasing in
+// τ, like the true curve — the property the shared sampling pass preserves
+// by construction.
+func TestEstimateCurveMonotone(t *testing.T) {
+	e, _ := lshssFor(t, 600, 10, 53, 54)
+	taus := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	for trial := 0; trial < 20; trial++ {
+		curve, err := e.EstimateCurve(taus, xrand.New(uint64(100+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i] > curve[i-1]+1e-9 {
+				t.Fatalf("trial %d: curve increased at τ=%v: %v → %v (full: %v)",
+					trial, taus[i], curve[i-1], curve[i], curve)
+			}
+		}
+	}
+}
+
+// TestEstimateCurveUnsortedInput: results align with the input order, not
+// the internal sorted order.
+func TestEstimateCurveUnsortedInput(t *testing.T) {
+	e, _ := lshssFor(t, 400, 10, 55, 56)
+	sortedC, err := e.EstimateCurve([]float64{0.2, 0.5, 0.8}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := e.EstimateCurve([]float64{0.8, 0.2, 0.5}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shuffled[0] != sortedC[2] || shuffled[1] != sortedC[0] || shuffled[2] != sortedC[1] {
+		t.Errorf("alignment broken: sorted=%v shuffled=%v", sortedC, shuffled)
+	}
+}
+
+// TestEstimateCurveTracksPointEstimates: the curve's mean over repetitions
+// should track the truth about as well as per-τ point estimation in the
+// reliable regime.
+func TestEstimateCurveTracksTruth(t *testing.T) {
+	e, data := lshssFor(t, 800, 12, 5, 6, WithSampleSizes(800, 12000))
+	tau := 0.3
+	truth := float64(exactjoin.BruteForceCount(data, tau))
+	var sum float64
+	const reps = 40
+	for r := 0; r < reps; r++ {
+		curve, err := e.EstimateCurve([]float64{tau, 0.9}, xrand.New(uint64(500+r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += curve[0]
+	}
+	mean := sum / reps
+	if math.Abs(mean-truth) > 0.4*truth {
+		t.Errorf("curve mean %v vs truth %v at τ=%v", mean, truth, tau)
+	}
+}
+
+// TestEstimateCurveReplaysAdaptiveStopping: with a forced single threshold,
+// the curve's Ĵ_L semantics match the adaptive estimator: δ-th hit at draw i
+// scales δ·N_L/i.
+func TestEstimateCurveAdaptiveSemantics(t *testing.T) {
+	e, _ := lshssFor(t, 500, 10, 57, 58, WithDelta(3), WithSampleSizes(500, 2000))
+	taus := []float64{0.05, 0.1}
+	curve, err := e.EstimateCurve(taus, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a permissive threshold the estimate must be scaled up well beyond
+	// the raw hit count (the reliable branch fired).
+	if curve[0] < 100 {
+		t.Errorf("reliable branch should scale up: got %v", curve[0])
+	}
+	if !sort.Float64sAreSorted([]float64{curve[1], curve[0]}) {
+		t.Errorf("monotonicity violated: %v", curve)
+	}
+}

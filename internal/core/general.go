@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/sample"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// GeneralRS is uniform pair sampling for the general (non-self) VSJ problem
+// of App. B.2.2: estimate |{(u,v) : u ∈ U, v ∈ V, sim(u,v) ≥ τ}| from m
+// uniform cross pairs.
+type GeneralRS struct {
+	left, right []vecmath.Vector
+	sim         SimFunc
+	m           int
+}
+
+// NewGeneralRS builds the estimator; m defaults to 1.5·(|U|+|V|)/2.
+func NewGeneralRS(left, right []vecmath.Vector, sim SimFunc, m int) (*GeneralRS, error) {
+	if len(left) == 0 || len(right) == 0 {
+		return nil, fmt.Errorf("core: general RS needs non-empty collections")
+	}
+	if sim == nil {
+		sim = vecmath.Cosine
+	}
+	if m <= 0 {
+		m = 3 * (len(left) + len(right)) / 4
+	}
+	return &GeneralRS{left: left, right: right, sim: sim, m: m}, nil
+}
+
+// Name implements Estimator.
+func (e *GeneralRS) Name() string { return "RS(general)" }
+
+// Estimate implements Estimator.
+func (e *GeneralRS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
+	if err := validateTau(tau); err != nil {
+		return 0, err
+	}
+	hits := 0
+	for s := 0; s < e.m; s++ {
+		u := rng.Intn(len(e.left))
+		v := rng.Intn(len(e.right))
+		if e.sim(e.left[u], e.right[v]) >= tau {
+			hits++
+		}
+	}
+	m := float64(len(e.left)) * float64(len(e.right))
+	return clampEstimate(float64(hits)*m/float64(e.m), m), nil
+}
+
+// GeneralLSHSS is LSH-SS for non-self joins (App. B.2.2): stratum H is the
+// set of cross pairs with equal g values (sampled through lsh.Bipartite with
+// weight b_j·c_i), stratum L is everything else (rejection sampling).
+type GeneralLSHSS struct {
+	bp  *lsh.Bipartite
+	sim SimFunc
+
+	mH, mL    int
+	delta     int
+	damp      DampMode
+	cs        float64
+	maxReject int
+}
+
+// NewGeneralLSHSS builds the estimator over a bipartite bucket matching.
+// Defaults mirror the self-join case with n = (|U|+|V|)/2: m_H = m_L = n,
+// δ = ⌈log₂ n⌉.
+func NewGeneralLSHSS(bp *lsh.Bipartite, sim SimFunc, opts ...GeneralOption) (*GeneralLSHSS, error) {
+	if bp == nil {
+		return nil, fmt.Errorf("core: general LSH-SS needs a bipartite matching")
+	}
+	if sim == nil {
+		sim = vecmath.Cosine
+	}
+	n := (bp.LeftN() + bp.RightN()) / 2
+	if n < 1 {
+		n = 1
+	}
+	e := &GeneralLSHSS{
+		bp: bp, sim: sim,
+		mH: n, mL: n,
+		delta:     int(math.Ceil(math.Log2(float64(n + 1)))),
+		damp:      DampOff,
+		cs:        1,
+		maxReject: 4096,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.mH < 1 || e.mL < 1 || e.delta < 1 {
+		return nil, fmt.Errorf("core: invalid general LSH-SS parameters")
+	}
+	return e, nil
+}
+
+// GeneralOption customizes GeneralLSHSS.
+type GeneralOption func(*GeneralLSHSS)
+
+// WithGeneralSampleSizes overrides m_H and m_L.
+func WithGeneralSampleSizes(mH, mL int) GeneralOption {
+	return func(e *GeneralLSHSS) { e.mH, e.mL = mH, mL }
+}
+
+// WithGeneralDamp selects the dampened scale-up.
+func WithGeneralDamp(mode DampMode, cs float64) GeneralOption {
+	return func(e *GeneralLSHSS) { e.damp, e.cs = mode, cs }
+}
+
+// Name implements Estimator.
+func (e *GeneralLSHSS) Name() string { return "LSH-SS(general)" }
+
+// Estimate implements Estimator.
+func (e *GeneralLSHSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
+	if err := validateTau(tau); err != nil {
+		return 0, err
+	}
+	m := float64(e.bp.M())
+	// SampleH over matched buckets.
+	var jh float64
+	if nh := e.bp.NH(); nh > 0 {
+		hits := 0
+		for s := 0; s < e.mH; s++ {
+			u, v, ok := e.bp.SamplePair(rng)
+			if !ok {
+				break
+			}
+			if e.bp.Sim(u, v) >= tau {
+				hits++
+			}
+		}
+		jh = float64(hits) * float64(nh) / float64(e.mH)
+	}
+	// SampleL via rejection on g(u) = g(v).
+	var jl float64
+	if nl := e.bp.NL(); nl > 0 {
+		res := sample.Adaptive(e.delta, e.mL, func() (bool, bool) {
+			for t := 0; t < e.maxReject; t++ {
+				u := rng.Intn(e.bp.LeftN())
+				v := rng.Intn(e.bp.RightN())
+				if e.bp.SameBucket(u, v) {
+					continue
+				}
+				return e.bp.Sim(u, v) >= tau, true
+			}
+			return false, false
+		})
+		switch {
+		case res.Reliable:
+			jl = float64(res.Hits) * float64(nl) / float64(res.Taken)
+		case e.damp == DampAuto:
+			jl = float64(res.Hits) * (float64(res.Hits) / float64(e.delta)) * float64(nl) / float64(e.mL)
+		case e.damp == DampConst:
+			jl = float64(res.Hits) * e.cs * float64(nl) / float64(e.mL)
+		default:
+			jl = float64(res.Hits)
+		}
+	}
+	return clampEstimate(jh+jl, m), nil
+}
+
+// ExactGeneralJoin counts the true cross-join size by brute force; it is the
+// test oracle for the general estimators (O(|U|·|V|)).
+func ExactGeneralJoin(left, right []vecmath.Vector, sim SimFunc, tau float64) int64 {
+	if sim == nil {
+		sim = vecmath.Cosine
+	}
+	var c int64
+	for _, u := range left {
+		for _, v := range right {
+			if sim(u, v) >= tau {
+				c++
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/sample"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// DampMode selects how SampleL scales its count when the adaptive loop
+// exhausts its budget without reaching the answer-size threshold δ
+// (line 10 of Algorithm 1).
+type DampMode int
+
+// Damp modes.
+const (
+	// DampOff returns the safe lower bound Ĵ_L = n_L (plain LSH-SS).
+	DampOff DampMode = iota
+	// DampAuto uses the paper's §6.1 default c_s = n_L/δ, i.e.
+	// Ĵ_L = n_L·(n_L/δ)·(N_L/m_L) — the LSH-SS(D) configuration.
+	DampAuto
+	// DampConst uses a fixed dampening constant c_s ∈ (0, 1]:
+	// Ĵ_L = n_L·c_s·(N_L/m_L) (App. C.3 studies c_s ∈ {0.1, 0.5, 1}).
+	DampConst
+)
+
+// LSHSS is Algorithm 1 of the paper: stratified sampling over the two strata
+// induced by one LSH table. SampleH draws m_H uniform pairs from stratum H
+// (co-bucketed pairs, weighted bucket sampling) and scales by N_H/m_H;
+// SampleL runs Lipton-style adaptive sampling over stratum L, scaling up
+// only when it observed at least δ true pairs and otherwise returning a safe
+// lower bound (or a dampened scale-up). The final estimate is Ĵ = Ĵ_H + Ĵ_L.
+type LSHSS struct {
+	table *lsh.Table
+	data  []vecmath.Vector
+	sim   SimFunc
+
+	mH, mL      int
+	delta       int
+	damp        DampMode
+	cs          float64
+	alwaysScale bool // ablation: scale up even when unreliable
+	maxReject   int
+}
+
+// LSHSSOption customizes an LSHSS estimator.
+type LSHSSOption func(*LSHSS)
+
+// WithSampleSizes overrides m_H and m_L (both default to n, the paper's
+// choice giving the Theorem 1/3 guarantees).
+func WithSampleSizes(mH, mL int) LSHSSOption {
+	return func(e *LSHSS) { e.mH, e.mL = mH, mL }
+}
+
+// WithDelta overrides the answer-size threshold δ (default ⌈log₂ n⌉).
+func WithDelta(delta int) LSHSSOption {
+	return func(e *LSHSS) { e.delta = delta }
+}
+
+// WithDamp selects the dampened scale-up of LSH-SS(D). cs is used only with
+// DampConst.
+func WithDamp(mode DampMode, cs float64) LSHSSOption {
+	return func(e *LSHSS) { e.damp, e.cs = mode, cs }
+}
+
+// WithAlwaysScale disables the safe-lower-bound rule entirely, scaling the
+// SampleL count by N_L/m_L even when unreliable. This exists for the
+// ablation benchmarks; the paper's algorithm never does this.
+func WithAlwaysScale() LSHSSOption {
+	return func(e *LSHSS) { e.alwaysScale = true }
+}
+
+// NewLSHSS builds the estimator over one LSH table. sim defaults to cosine.
+func NewLSHSS(table *lsh.Table, data []vecmath.Vector, sim SimFunc, opts ...LSHSSOption) (*LSHSS, error) {
+	if table == nil {
+		return nil, fmt.Errorf("core: LSH-SS needs a table")
+	}
+	if len(data) < 2 {
+		return nil, fmt.Errorf("core: LSH-SS needs at least 2 vectors, got %d", len(data))
+	}
+	if table.N() != len(data) {
+		return nil, fmt.Errorf("core: table indexes %d vectors but data has %d", table.N(), len(data))
+	}
+	if sim == nil {
+		sim = vecmath.Cosine
+	}
+	n := len(data)
+	e := &LSHSS{
+		table:     table,
+		data:      data,
+		sim:       sim,
+		mH:        n,
+		mL:        n,
+		delta:     int(math.Ceil(math.Log2(float64(n)))),
+		damp:      DampOff,
+		cs:        1,
+		maxReject: 4096,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.mH < 1 || e.mL < 1 {
+		return nil, fmt.Errorf("core: sample sizes must be positive (mH=%d, mL=%d)", e.mH, e.mL)
+	}
+	if e.delta < 1 {
+		return nil, fmt.Errorf("core: δ must be positive, got %d", e.delta)
+	}
+	if e.damp == DampConst && (e.cs <= 0 || e.cs > 1) {
+		return nil, fmt.Errorf("core: dampening factor must be in (0, 1], got %v", e.cs)
+	}
+	return e, nil
+}
+
+// Name implements Estimator.
+func (e *LSHSS) Name() string {
+	if e.alwaysScale {
+		return "LSH-SS(always-scale)"
+	}
+	if e.damp != DampOff {
+		return "LSH-SS(D)"
+	}
+	return "LSH-SS"
+}
+
+// Detail reports the internals of one LSH-SS estimate, for diagnostics and
+// the parameter-sweep experiments.
+type Detail struct {
+	Estimate  float64
+	JH, JL    float64 // per-stratum estimates
+	HitsH     int     // true pairs among the m_H stratum-H samples
+	HitsL     int     // true pairs found by SampleL (n_L)
+	TakenL    int     // pairs SampleL actually drew (i)
+	ReliableL bool    // SampleL terminated by reaching δ
+}
+
+// Estimate implements Estimator.
+func (e *LSHSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
+	d, err := e.EstimateDetailed(tau, rng)
+	if err != nil {
+		return 0, err
+	}
+	return d.Estimate, nil
+}
+
+// EstimateDetailed runs Algorithm 1 and returns per-stratum internals.
+func (e *LSHSS) EstimateDetailed(tau float64, rng *xrand.RNG) (Detail, error) {
+	if err := validateTau(tau); err != nil {
+		return Detail{}, err
+	}
+	if e.table.N() != len(e.data) {
+		return Detail{}, fmt.Errorf("core: stale estimator: index has %d vectors, snapshot has %d (rebuild after Insert)", e.table.N(), len(e.data))
+	}
+	d := e.sampleH(tau, rng)
+	e.sampleL(tau, rng, &d)
+	d.Estimate = clampEstimate(d.JH+d.JL, float64(e.table.M()))
+	return d, nil
+}
+
+// sampleH is procedure SampleH: m_H uniform pairs from stratum H, scaled by
+// N_H/m_H.
+func (e *LSHSS) sampleH(tau float64, rng *xrand.RNG) Detail {
+	var d Detail
+	nh := e.table.NH()
+	if nh == 0 {
+		return d // empty stratum contributes nothing
+	}
+	for s := 0; s < e.mH; s++ {
+		i, j, ok := e.table.SamplePair(rng)
+		if !ok {
+			break
+		}
+		if e.sim(e.data[i], e.data[j]) >= tau {
+			d.HitsH++
+		}
+	}
+	d.JH = float64(d.HitsH) * float64(nh) / float64(e.mH)
+	return d
+}
+
+// sampleL is procedure SampleL: adaptive sampling over stratum L with the
+// safe lower bound (or dampened scale-up) on budget exhaustion.
+func (e *LSHSS) sampleL(tau float64, rng *xrand.RNG, d *Detail) {
+	nl := e.table.NL()
+	if nl == 0 {
+		return
+	}
+	notSame := func(i, j int) bool { return !e.table.SameBucket(i, j) }
+	res := sample.Adaptive(e.delta, e.mL, func() (bool, bool) {
+		i, j, ok := sample.RejectPair(rng, len(e.data), notSame, e.maxReject)
+		if !ok {
+			return false, false
+		}
+		return e.sim(e.data[i], e.data[j]) >= tau, true
+	})
+	d.HitsL = res.Hits
+	d.TakenL = res.Taken
+	d.ReliableL = res.Reliable
+	switch {
+	case res.Reliable:
+		// Terminated by n_L ≥ δ: full scale-up by N_L/i (line 12).
+		d.JL = float64(res.Hits) * float64(nl) / float64(res.Taken)
+	case e.alwaysScale:
+		d.JL = float64(res.Hits) * float64(nl) / float64(e.mL)
+	default:
+		// Budget exhausted (line 9–11).
+		cs := 0.0
+		switch e.damp {
+		case DampOff:
+			d.JL = float64(res.Hits) // safe lower bound
+			return
+		case DampAuto:
+			cs = float64(res.Hits) / float64(e.delta)
+		case DampConst:
+			cs = e.cs
+		}
+		d.JL = float64(res.Hits) * cs * float64(nl) / float64(e.mL)
+	}
+}
+
+// Params reports the effective tunables (n-scaled defaults resolved).
+func (e *LSHSS) Params() (mH, mL, delta int, damp DampMode, cs float64) {
+	return e.mH, e.mL, e.delta, e.damp, e.cs
+}

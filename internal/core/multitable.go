@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/sample"
+	"lshjoin/internal/stats"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// MedianSS is the median estimator of App. B.2.1: LSH-SS applied
+// independently to each of the ℓ tables of an index, returning the median of
+// the per-table estimates. By the standard Chernoff argument, the median is
+// within the same error factor as a single estimate with failure probability
+// at most 2^(−ℓ/2).
+type MedianSS struct {
+	subs []*LSHSS
+}
+
+// NewMedianSS builds per-table LSH-SS estimators with shared options.
+func NewMedianSS(index *lsh.Index, sim SimFunc, opts ...LSHSSOption) (*MedianSS, error) {
+	if index == nil {
+		return nil, fmt.Errorf("core: median estimator needs an index")
+	}
+	subs := make([]*LSHSS, 0, index.L())
+	for _, t := range index.Tables() {
+		s, err := NewLSHSS(t, index.Data(), sim, opts...)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, s)
+	}
+	return &MedianSS{subs: subs}, nil
+}
+
+// Name implements Estimator.
+func (e *MedianSS) Name() string { return "LSH-SS(median)" }
+
+// Estimate implements Estimator.
+func (e *MedianSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
+	ests := make([]float64, 0, len(e.subs))
+	for _, s := range e.subs {
+		v, err := s.Estimate(tau, rng)
+		if err != nil {
+			return 0, err
+		}
+		ests = append(ests, v)
+	}
+	return stats.Median(ests), nil
+}
+
+// VirtualSS is the virtual-bucket estimator of App. B.2.1: a pair belongs to
+// stratum H if the two vectors share a bucket in ANY of the ℓ tables, which
+// relaxes an overly selective g (large k).
+//
+// The appendix leaves open how to obtain N_H of the union (enumerating it is
+// infeasible, and its suggested rejection sampling from V×V has acceptance
+// probability N_H/M ≈ 0). We instead sample stratum H by importance
+// sampling from the per-table mixture — draw table t with probability
+// N_H,t/Σ N_H,t, draw a co-bucketed pair there, and weight by the reciprocal
+// of the pair's bucket multiplicity — which gives unbiased estimates of both
+// |S_H^∪| and J_H. DESIGN.md records this as a documented extension.
+type VirtualSS struct {
+	index *lsh.Index
+	sim   SimFunc
+
+	mH, mL    int
+	delta     int
+	damp      DampMode
+	cs        float64
+	maxReject int
+
+	mixture []float64 // per-table N_H weights
+	totalNH float64   // Σ_t N_H,t
+}
+
+// NewVirtualSS builds the virtual-bucket estimator. The LSHSS options
+// WithSampleSizes, WithDelta and WithDamp are honored.
+func NewVirtualSS(index *lsh.Index, sim SimFunc, opts ...LSHSSOption) (*VirtualSS, error) {
+	if index == nil {
+		return nil, fmt.Errorf("core: virtual-bucket estimator needs an index")
+	}
+	if index.N() < 2 {
+		return nil, fmt.Errorf("core: need at least 2 vectors")
+	}
+	if sim == nil {
+		sim = vecmath.Cosine
+	}
+	// Reuse LSHSS option plumbing by materializing one throwaway instance.
+	probe, err := NewLSHSS(index.Table(0), index.Data(), sim, opts...)
+	if err != nil {
+		return nil, err
+	}
+	mH, mL, delta, damp, cs := probe.Params()
+	e := &VirtualSS{
+		index: index, sim: sim,
+		mH: mH, mL: mL, delta: delta, damp: damp, cs: cs,
+		maxReject: 4096,
+	}
+	e.mixture = make([]float64, index.L())
+	for t, tab := range index.Tables() {
+		e.mixture[t] = float64(tab.NH())
+		e.totalNH += e.mixture[t]
+	}
+	return e, nil
+}
+
+// Name implements Estimator.
+func (e *VirtualSS) Name() string { return "LSH-SS(virtual)" }
+
+// Estimate implements Estimator.
+func (e *VirtualSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
+	if err := validateTau(tau); err != nil {
+		return 0, err
+	}
+	jh := e.sampleH(tau, rng)
+	jl := e.sampleL(tau, rng)
+	return clampEstimate(jh+jl, pairsOf(e.index.N())), nil
+}
+
+// sampleH draws from the per-table mixture with multiplicity correction:
+// for pair (u,v) drawn from table t, P(draw) = mult(u,v)/Σ N_H,t, so the
+// weight Σ N_H,t / mult is an unbiased Horvitz–Thompson factor for sums over
+// the union stratum.
+func (e *VirtualSS) sampleH(tau float64, rng *xrand.RNG) float64 {
+	if e.totalNH == 0 {
+		return 0
+	}
+	var sum float64 // Σ [sim ≥ τ]/mult over draws
+	for s := 0; s < e.mH; s++ {
+		t := e.pickTable(rng)
+		i, j, ok := e.index.Table(t).SamplePair(rng)
+		if !ok {
+			continue
+		}
+		if e.sim(e.index.Data()[i], e.index.Data()[j]) >= tau {
+			sum += 1 / float64(e.index.BucketMultiplicity(i, j))
+		}
+	}
+	return sum * e.totalNH / float64(e.mH)
+}
+
+// NHVirtual estimates |S_H^∪| with m mixture draws (exported for tests and
+// diagnostics; same Horvitz–Thompson construction as sampleH).
+func (e *VirtualSS) NHVirtual(m int, rng *xrand.RNG) float64 {
+	if e.totalNH == 0 || m <= 0 {
+		return 0
+	}
+	var sum float64
+	for s := 0; s < m; s++ {
+		t := e.pickTable(rng)
+		i, j, ok := e.index.Table(t).SamplePair(rng)
+		if !ok {
+			continue
+		}
+		sum += 1 / float64(e.index.BucketMultiplicity(i, j))
+	}
+	return sum * e.totalNH / float64(m)
+}
+
+func (e *VirtualSS) pickTable(rng *xrand.RNG) int {
+	x := rng.Float64() * e.totalNH
+	var acc float64
+	for t, w := range e.mixture {
+		acc += w
+		if x < acc {
+			return t
+		}
+	}
+	return len(e.mixture) - 1
+}
+
+// sampleL mirrors LSH-SS's SampleL with the virtual-bucket membership test
+// and N_L approximated by M − N̂_H (the union N_H is itself estimated; the
+// approximation error is second-order because N_H ≪ M in any useful index).
+func (e *VirtualSS) sampleL(tau float64, rng *xrand.RNG) float64 {
+	n := e.index.N()
+	m := pairsOf(n)
+	nhHat := e.NHVirtual(minInt(e.mH, 2048), rng)
+	nl := m - nhHat
+	if nl <= 0 {
+		return 0
+	}
+	notSame := func(i, j int) bool { return !e.index.SameAnyBucket(i, j) }
+	res := sample.Adaptive(e.delta, e.mL, func() (bool, bool) {
+		i, j, ok := sample.RejectPair(rng, n, notSame, e.maxReject)
+		if !ok {
+			return false, false
+		}
+		return e.sim(e.index.Data()[i], e.index.Data()[j]) >= tau, true
+	})
+	switch {
+	case res.Reliable:
+		return float64(res.Hits) * nl / float64(res.Taken)
+	case e.damp == DampAuto:
+		cs := float64(res.Hits) / float64(e.delta)
+		return float64(res.Hits) * cs * nl / float64(e.mL)
+	case e.damp == DampConst:
+		return float64(res.Hits) * e.cs * nl / float64(e.mL)
+	default:
+		return float64(res.Hits)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/sample"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// KReport is the measurement behind one candidate k in OptimalK.
+type KReport struct {
+	K         int
+	Precision float64 // empirical P(T|H) at the reference threshold
+	NH        int64   // co-bucketed pairs in the probe index
+}
+
+// OptimalK implements the Optimal-k heuristic of App. B.1 (Definition 4):
+// find the minimum k such that the stratum-H precision P(T|H) at a reference
+// threshold reaches rho. Smaller k grows stratum H (higher recall P(H|T),
+// cheaper hashing) and is preferred as long as precision holds, which is
+// exactly the appendix's trade-off discussion.
+//
+// P(T|H) is estimated empirically: for each candidate k a probe index is
+// built over a subsample of the data and up to probes pairs are drawn from
+// stratum H. The function returns the chosen k and the per-k measurements.
+// If no candidate reaches rho it returns the largest candidate along with
+// the reports (the appendix notes P(T|H) → 1 as k → ∞ only in the limit of
+// exact duplicates; data with no duplicates may cap below rho).
+func OptimalK(data []vecmath.Vector, family lsh.Family, sim SimFunc, tauRef, rho float64,
+	kMin, kMax, subsample, probes int, rng *xrand.RNG) (int, []KReport, error) {
+	switch {
+	case len(data) < 2:
+		return 0, nil, fmt.Errorf("core: OptimalK needs at least 2 vectors")
+	case family == nil:
+		return 0, nil, fmt.Errorf("core: OptimalK needs a family")
+	case tauRef <= 0 || tauRef > 1:
+		return 0, nil, fmt.Errorf("core: reference threshold must be in (0, 1], got %v", tauRef)
+	case rho <= 0 || rho > 1:
+		return 0, nil, fmt.Errorf("core: precision target must be in (0, 1], got %v", rho)
+	case kMin < 1 || kMax < kMin:
+		return 0, nil, fmt.Errorf("core: need 1 ≤ kMin ≤ kMax, got [%d, %d]", kMin, kMax)
+	}
+	if sim == nil {
+		sim = vecmath.Cosine
+	}
+	if subsample <= 0 || subsample > len(data) {
+		subsample = len(data)
+	}
+	if probes <= 0 {
+		probes = 2000
+	}
+	probe := data
+	if subsample < len(data) {
+		ids, err := sample.WithoutReplacement(rng, len(data), subsample)
+		if err != nil {
+			return 0, nil, err
+		}
+		probe = make([]vecmath.Vector, subsample)
+		for i, id := range ids {
+			probe[i] = data[id]
+		}
+	}
+	var reports []KReport
+	chosen := 0
+	for k := kMin; k <= kMax; k++ {
+		idx, err := lsh.Build(probe, family, k, 1)
+		if err != nil {
+			return 0, nil, err
+		}
+		tab := idx.Table(0)
+		rep := KReport{K: k, NH: tab.NH()}
+		if tab.NH() > 0 {
+			hits, draws := 0, 0
+			for p := 0; p < probes; p++ {
+				i, j, ok := tab.SamplePair(rng)
+				if !ok {
+					break
+				}
+				draws++
+				if sim(probe[i], probe[j]) >= tauRef {
+					hits++
+				}
+			}
+			if draws > 0 {
+				rep.Precision = float64(hits) / float64(draws)
+			}
+		}
+		reports = append(reports, rep)
+		if chosen == 0 && rep.Precision >= rho {
+			chosen = k
+			break // Definition 4 asks for the minimum such k
+		}
+	}
+	if chosen == 0 {
+		chosen = reports[len(reports)-1].K
+	}
+	return chosen, reports, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+func TestOptimalKValidation(t *testing.T) {
+	data := testData(50, 1)
+	fam := lsh.NewSimHash(2)
+	rng := xrand.New(3)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"tiny data", func() error {
+			_, _, err := OptimalK(data[:1], fam, nil, 0.5, 0.1, 1, 5, 0, 100, rng)
+			return err
+		}},
+		{"nil family", func() error {
+			_, _, err := OptimalK(data, nil, nil, 0.5, 0.1, 1, 5, 0, 100, rng)
+			return err
+		}},
+		{"bad tau", func() error {
+			_, _, err := OptimalK(data, fam, nil, 0, 0.1, 1, 5, 0, 100, rng)
+			return err
+		}},
+		{"bad rho", func() error {
+			_, _, err := OptimalK(data, fam, nil, 0.5, 1.5, 1, 5, 0, 100, rng)
+			return err
+		}},
+		{"bad range", func() error {
+			_, _, err := OptimalK(data, fam, nil, 0.5, 0.1, 5, 3, 0, 100, rng)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.run() == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+// TestOptimalKPrecisionGrowsWithK: on duplicate-heavy data, a larger k keeps
+// only the duplicates co-bucketed, so P(T|H) rises toward 1.
+func TestOptimalKPrecisionGrowsWithK(t *testing.T) {
+	// 30 duplicate clusters of 3 + 400 random singletons.
+	var data []vecmath.Vector
+	rng := xrand.New(5)
+	for c := 0; c < 30; c++ {
+		base := make([]uint32, 6)
+		for i := range base {
+			base[i] = uint32(rng.Intn(500))
+		}
+		v := vecmath.FromDims(base)
+		data = append(data, v, v, v)
+	}
+	for i := 0; i < 400; i++ {
+		ds := make([]uint32, 6)
+		for j := range ds {
+			ds[j] = uint32(rng.Intn(500))
+		}
+		data = append(data, vecmath.FromDims(ds))
+	}
+	fam := lsh.NewSimHash(7)
+	_, reports, err := OptimalK(data, fam, nil, 0.95, 2.0, 2, 24, 0, 4000, xrand.New(9))
+	if err == nil {
+		// rho = 2.0 rejected above; adjust: use valid rho and inspect curve.
+		t.Fatal("rho > 1 should have been rejected")
+	}
+	chosen, reports, err := OptimalK(data, fam, nil, 0.95, 0.9, 2, 24, 0, 4000, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen < 2 || chosen > 24 {
+		t.Fatalf("chosen k = %d out of range", chosen)
+	}
+	// Precision at the chosen k must meet the target (the data has real
+	// duplicates, so the target is reachable).
+	last := reports[len(reports)-1]
+	if last.K != chosen {
+		t.Fatalf("reports should end at the chosen k, got %d vs %d", last.K, chosen)
+	}
+	if last.Precision < 0.9 {
+		t.Errorf("precision at chosen k = %v < target", last.Precision)
+	}
+	// And the first candidate (k = 2) should have much lower precision.
+	if reports[0].Precision >= last.Precision {
+		t.Errorf("precision did not grow: k=2 → %v, k=%d → %v",
+			reports[0].Precision, last.K, last.Precision)
+	}
+}
+
+func TestOptimalKUnreachableTarget(t *testing.T) {
+	// No duplicates at all: precision at τ = 0.99 stays ~0, so the function
+	// falls back to kMax.
+	data := testData(200, 11)
+	noDup := make([]vecmath.Vector, 0, len(data))
+	seen := map[string]bool{}
+	for _, v := range data {
+		key := v.String()
+		if !seen[key] {
+			seen[key] = true
+			noDup = append(noDup, v)
+		}
+	}
+	chosen, reports, err := OptimalK(noDup, lsh.NewSimHash(13), nil, 0.999, 0.99, 2, 6, 0, 500, xrand.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != 6 {
+		t.Errorf("unreachable target should fall back to kMax=6, got %d", chosen)
+	}
+	if len(reports) != 5 {
+		t.Errorf("expected all 5 candidates probed, got %d", len(reports))
+	}
+}
+
+func TestOptimalKSubsampling(t *testing.T) {
+	data := testData(500, 17)
+	chosen, _, err := OptimalK(data, lsh.NewSimHash(19), nil, 0.9, 0.2, 4, 16, 100, 1000, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen < 4 || chosen > 16 {
+		t.Errorf("chosen k = %d out of range", chosen)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"lshjoin/internal/sample"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// RSPop is the RS(pop) baseline of §3.1: m pairs of vectors drawn uniformly
+// at random with replacement from the cross product; the count of pairs
+// meeting τ is scaled by M/m.
+type RSPop struct {
+	data []vecmath.Vector
+	sim  SimFunc
+	m    int
+}
+
+// NewRSPop builds the estimator. m defaults to 1.5·n when non-positive (the
+// paper's runtime-matched budget m_R = 1.5n).
+func NewRSPop(data []vecmath.Vector, sim SimFunc, m int) (*RSPop, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("core: RS(pop) needs at least 2 vectors, got %d", len(data))
+	}
+	if sim == nil {
+		sim = vecmath.Cosine
+	}
+	if m <= 0 {
+		m = len(data) + len(data)/2
+	}
+	return &RSPop{data: data, sim: sim, m: m}, nil
+}
+
+// Name implements Estimator.
+func (e *RSPop) Name() string { return "RS(pop)" }
+
+// SampleSize returns the pair budget m.
+func (e *RSPop) SampleSize() int { return e.m }
+
+// Estimate implements Estimator.
+func (e *RSPop) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
+	if err := validateTau(tau); err != nil {
+		return 0, err
+	}
+	hits := 0
+	for s := 0; s < e.m; s++ {
+		i, j := sample.UniformPair(rng, len(e.data))
+		if e.sim(e.data[i], e.data[j]) >= tau {
+			hits++
+		}
+	}
+	m := pairsOf(len(e.data))
+	return clampEstimate(float64(hits)*m/float64(e.m), m), nil
+}
+
+// RSCross is the RS(cross) baseline (cross sampling, Haas et al. [10]):
+// draw ⌈√m⌉ records without replacement and compare all pairs among them;
+// scale the hit count by M / C(r, 2).
+type RSCross struct {
+	data []vecmath.Vector
+	sim  SimFunc
+	r    int // records sampled
+}
+
+// NewRSCross builds the estimator with a pair budget m (so that its cost is
+// comparable to RS(pop) with the same m); r = ⌈√m⌉ records are drawn.
+func NewRSCross(data []vecmath.Vector, sim SimFunc, m int) (*RSCross, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("core: RS(cross) needs at least 2 vectors, got %d", len(data))
+	}
+	if sim == nil {
+		sim = vecmath.Cosine
+	}
+	if m <= 0 {
+		m = len(data) + len(data)/2
+	}
+	r := 2
+	for r*(r-1)/2 < m {
+		r++
+	}
+	if r > len(data) {
+		r = len(data)
+	}
+	return &RSCross{data: data, sim: sim, r: r}, nil
+}
+
+// Name implements Estimator.
+func (e *RSCross) Name() string { return "RS(cross)" }
+
+// Records returns the number of records drawn per estimate.
+func (e *RSCross) Records() int { return e.r }
+
+// Estimate implements Estimator.
+func (e *RSCross) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
+	if err := validateTau(tau); err != nil {
+		return 0, err
+	}
+	ids, err := sample.WithoutReplacement(rng, len(e.data), e.r)
+	if err != nil {
+		return 0, err
+	}
+	hits := 0
+	for a := 0; a < len(ids); a++ {
+		for b := a + 1; b < len(ids); b++ {
+			if e.sim(e.data[ids[a]], e.data[ids[b]]) >= tau {
+				hits++
+			}
+		}
+	}
+	m := pairsOf(len(e.data))
+	samplePairs := pairsOf(e.r)
+	return clampEstimate(float64(hits)*m/samplePairs, m), nil
+}

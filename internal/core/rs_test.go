@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lshjoin/internal/exactjoin"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// testData builds a small binary-vector collection with duplicates and a
+// range of similarities.
+func testData(n int, seed uint64) []vecmath.Vector {
+	rng := xrand.New(seed)
+	data := make([]vecmath.Vector, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 && rng.Float64() < 0.05 {
+			// Near-duplicate of an earlier vector: mutate one dim.
+			src := data[rng.Intn(len(data))].Entries()
+			ds := make([]uint32, 0, len(src)+1)
+			for _, e := range src {
+				ds = append(ds, e.Dim)
+			}
+			if len(ds) > 0 {
+				ds[rng.Intn(len(ds))] = uint32(rng.Intn(200))
+			}
+			data = append(data, vecmath.FromDims(ds))
+			continue
+		}
+		if i > 0 && rng.Float64() < 0.03 {
+			data = append(data, data[rng.Intn(len(data))]) // exact duplicate
+			continue
+		}
+		m := 4 + rng.Intn(8)
+		ds := make([]uint32, 0, m)
+		// Two "stopwords" with high probability create low-τ mass.
+		if rng.Float64() < 0.5 {
+			ds = append(ds, uint32(rng.Intn(5)))
+		}
+		for len(ds) < m {
+			ds = append(ds, uint32(rng.Intn(200)))
+		}
+		data = append(data, vecmath.FromDims(ds))
+	}
+	return data
+}
+
+func meanEstimate(t *testing.T, e Estimator, tau float64, reps int, seed uint64) float64 {
+	t.Helper()
+	rng := xrand.New(seed)
+	var sum float64
+	for r := 0; r < reps; r++ {
+		v, err := e.Estimate(tau, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if v < 0 {
+			t.Fatalf("%s returned negative estimate %v", e.Name(), v)
+		}
+		sum += v
+	}
+	return sum / float64(reps)
+}
+
+func TestRSPopValidation(t *testing.T) {
+	if _, err := NewRSPop(nil, nil, 10); err == nil {
+		t.Error("empty data accepted")
+	}
+	data := testData(50, 1)
+	e, err := NewRSPop(data, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SampleSize() != 75 {
+		t.Errorf("default m = %d, want 1.5n = 75", e.SampleSize())
+	}
+	if _, err := e.Estimate(0, xrand.New(1)); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if _, err := e.Estimate(1.5, xrand.New(1)); err == nil {
+		t.Error("tau>1 accepted")
+	}
+}
+
+func TestRSPopUnbiasedAtModerateThreshold(t *testing.T) {
+	data := testData(300, 2)
+	truth := float64(exactjoin.BruteForceCount(data, 0.3))
+	if truth < 20 {
+		t.Fatalf("test data too sparse: J(0.3) = %v", truth)
+	}
+	e, err := NewRSPop(data, nil, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := meanEstimate(t, e, 0.3, 200, 3)
+	if math.Abs(got-truth) > 0.2*truth {
+		t.Errorf("mean estimate %v, truth %v", got, truth)
+	}
+}
+
+func TestRSPopExtremeThresholdMostlyZero(t *testing.T) {
+	data := testData(300, 4)
+	e, err := NewRSPop(data, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	zeros := 0
+	const reps = 50
+	for r := 0; r < reps; r++ {
+		v, err := e.Estimate(0.95, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	// With tiny selectivity and 100 samples, most estimates collapse to 0 —
+	// the failure mode motivating the paper.
+	if zeros < reps/2 {
+		t.Errorf("only %d/%d zero estimates at τ=0.95; RS should be failing here", zeros, reps)
+	}
+}
+
+func TestRSCrossValidationAndRecords(t *testing.T) {
+	data := testData(100, 6)
+	if _, err := NewRSCross(data[:1], nil, 10); err == nil {
+		t.Error("single vector accepted")
+	}
+	e, err := NewRSCross(data, nil, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(10,2) = 45 → r = 10.
+	if e.Records() != 10 {
+		t.Errorf("records = %d, want 10", e.Records())
+	}
+	big, err := NewRSCross(data, nil, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Records() != 100 {
+		t.Errorf("records capped at n: got %d", big.Records())
+	}
+}
+
+func TestRSCrossUnbiasedAtModerateThreshold(t *testing.T) {
+	data := testData(300, 7)
+	truth := float64(exactjoin.BruteForceCount(data, 0.3))
+	e, err := NewRSCross(data, nil, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := meanEstimate(t, e, 0.3, 200, 8)
+	if math.Abs(got-truth) > 0.25*truth {
+		t.Errorf("mean estimate %v, truth %v", got, truth)
+	}
+}
+
+func TestRSEstimatesBounded(t *testing.T) {
+	data := testData(100, 9)
+	m := pairsOf(len(data))
+	pop, _ := NewRSPop(data, nil, 50)
+	cross, _ := NewRSCross(data, nil, 50)
+	rng := xrand.New(10)
+	for _, tau := range []float64{0.1, 0.5, 0.9, 1.0} {
+		for r := 0; r < 20; r++ {
+			for _, e := range []Estimator{pop, cross} {
+				v, err := e.Estimate(tau, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v < 0 || v > m {
+					t.Fatalf("%s estimate %v outside [0, %v]", e.Name(), v, m)
+				}
+			}
+		}
+	}
+}
+
+func TestRSJaccardMeasure(t *testing.T) {
+	data := testData(200, 11)
+	truthJ := 0.0
+	for i := range data {
+		for j := i + 1; j < len(data); j++ {
+			if vecmath.Jaccard(data[i], data[j]) >= 0.5 {
+				truthJ++
+			}
+		}
+	}
+	e, err := NewRSPop(data, vecmath.Jaccard, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := meanEstimate(t, e, 0.5, 100, 12)
+	tol := 0.3*truthJ + 3
+	if math.Abs(got-truthJ) > tol {
+		t.Errorf("Jaccard join: mean %v, truth %v", got, truthJ)
+	}
+}

@@ -1,0 +1,256 @@
+// Package corpus generates synthetic document collections with controllable
+// similarity structure and vectorizes them, standing in for the proprietary
+// corpora of the paper's evaluation (DBLP publications, NYTimes articles,
+// PubMed abstracts — see DESIGN.md §3 for the substitution argument).
+//
+// Documents are produced by a topic-mixture model: a small stop-word head
+// shared by everything (drives the huge join sizes at low thresholds), a set
+// of Zipfian topics (drives mid-range similarity), and optional duplication
+// of earlier documents with token edits (drives the small-but-nonzero join
+// sizes at τ ≥ 0.8 that make high-threshold estimation hard).
+package corpus
+
+import (
+	"fmt"
+	"math"
+
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// Doc is a document as a bag of token ids (repetitions meaningful for TF).
+type Doc []uint32
+
+// Config describes a synthetic corpus.
+type Config struct {
+	N int // number of documents
+
+	Vocab     int // total vocabulary size (token ids are < Vocab)
+	Stopwords int // token ids [0, Stopwords) form the shared head
+
+	Topics       int     // number of topics
+	TopicVocab   int     // distinct words per topic (drawn from the non-stop vocab)
+	TopicZipf    float64 // Zipf exponent inside a topic
+	TopicsPerDoc int     // maximum topics mixed into one document
+	StopwordRate float64 // probability a token is a stop word
+	StopwordZipf float64 // Zipf exponent over the stop-word head
+	MeanLen      int     // mean document length in tokens
+	MinLen       int     // lower clip for document length
+	MaxLen       int     // upper clip for document length
+	LenSpread    float64 // geometric-ish spread around MeanLen (0 = fixed length)
+	NearDupRate  float64 // probability a document is a near-copy of an earlier one
+	NearDupEdits int     // max token substitutions applied to a near-copy
+	ExactDupRate float64 // probability a document is an exact copy of an earlier one
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("corpus: N must be positive, got %d", c.N)
+	case c.Vocab <= c.Stopwords:
+		return fmt.Errorf("corpus: vocab %d must exceed stop-word head %d", c.Vocab, c.Stopwords)
+	case c.Stopwords < 0:
+		return fmt.Errorf("corpus: negative stop-word head")
+	case c.Topics <= 0 || c.TopicVocab <= 0:
+		return fmt.Errorf("corpus: need at least one topic with vocabulary")
+	case c.TopicsPerDoc <= 0:
+		return fmt.Errorf("corpus: TopicsPerDoc must be positive")
+	case c.MeanLen <= 0 || c.MinLen <= 0 || c.MaxLen < c.MinLen:
+		return fmt.Errorf("corpus: invalid length bounds mean=%d min=%d max=%d", c.MeanLen, c.MinLen, c.MaxLen)
+	case c.StopwordRate < 0 || c.StopwordRate > 1:
+		return fmt.Errorf("corpus: StopwordRate %v out of [0,1]", c.StopwordRate)
+	case c.NearDupRate < 0 || c.ExactDupRate < 0 || c.NearDupRate+c.ExactDupRate > 1:
+		return fmt.Errorf("corpus: duplication rates invalid")
+	case c.TopicZipf <= 0 || (c.Stopwords > 0 && c.StopwordZipf <= 0):
+		return fmt.Errorf("corpus: Zipf exponents must be positive")
+	}
+	return nil
+}
+
+// Generate produces the corpus deterministically from seed.
+func Generate(c Config, seed uint64) ([]Doc, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	topicZ, err := xrand.NewZipf(c.TopicVocab, c.TopicZipf)
+	if err != nil {
+		return nil, err
+	}
+	var stopZ *xrand.Zipf
+	if c.Stopwords > 0 {
+		stopZ, err = xrand.NewZipf(c.Stopwords, c.StopwordZipf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Topic t owns a deterministic pseudo-random subset of the non-stop
+	// vocabulary: word r of topic t is a keyed hash into [Stopwords, Vocab).
+	topicWord := func(topic, rank int) uint32 {
+		span := uint64(c.Vocab - c.Stopwords)
+		h := xrand.Mix3(seed^0x70FC5EED, uint64(topic), uint64(rank))
+		return uint32(uint64(c.Stopwords) + h%span)
+	}
+	// Topic popularity is itself Zipfian: few hot topics, long tail.
+	topicPop, err := xrand.NewZipf(c.Topics, 1.0)
+	if err != nil {
+		return nil, err
+	}
+
+	docs := make([]Doc, 0, c.N)
+	for i := 0; i < c.N; i++ {
+		if i > 0 {
+			r := rng.Float64()
+			if r < c.ExactDupRate {
+				src := docs[rng.Intn(len(docs))]
+				docs = append(docs, append(Doc(nil), src...))
+				continue
+			}
+			if r < c.ExactDupRate+c.NearDupRate {
+				docs = append(docs, nearCopy(rng, docs[rng.Intn(len(docs))], c, topicZ, topicWord, topicPop))
+				continue
+			}
+		}
+		docs = append(docs, freshDoc(rng, c, stopZ, topicZ, topicWord, topicPop))
+	}
+	return docs, nil
+}
+
+func docLen(rng *xrand.RNG, c Config) int {
+	length := c.MeanLen
+	if c.LenSpread > 0 {
+		// Symmetric multiplicative jitter: length ~ MeanLen · exp(N(0, spread)).
+		length = int(math.Round(float64(c.MeanLen) * math.Exp(rng.Norm()*c.LenSpread)))
+	}
+	if length < c.MinLen {
+		length = c.MinLen
+	}
+	if length > c.MaxLen {
+		length = c.MaxLen
+	}
+	return length
+}
+
+func freshDoc(rng *xrand.RNG, c Config, stopZ, topicZ *xrand.Zipf,
+	topicWord func(t, r int) uint32, topicPop *xrand.Zipf) Doc {
+	length := docLen(rng, c)
+	nTopics := 1 + rng.Intn(c.TopicsPerDoc)
+	topics := make([]int, nTopics)
+	for i := range topics {
+		topics[i] = topicPop.Sample(rng)
+	}
+	doc := make(Doc, 0, length)
+	for len(doc) < length {
+		if stopZ != nil && rng.Float64() < c.StopwordRate {
+			doc = append(doc, uint32(stopZ.Sample(rng)))
+			continue
+		}
+		t := topics[rng.Intn(nTopics)]
+		doc = append(doc, topicWord(t, topicZ.Sample(rng)))
+	}
+	return doc
+}
+
+// nearCopy duplicates src and substitutes up to NearDupEdits tokens with
+// fresh topic words, modelling re-posted articles and revised titles.
+func nearCopy(rng *xrand.RNG, src Doc, c Config, topicZ *xrand.Zipf,
+	topicWord func(t, r int) uint32, topicPop *xrand.Zipf) Doc {
+	out := append(Doc(nil), src...)
+	edits := 1 + rng.Intn(maxInt(c.NearDupEdits, 1))
+	for e := 0; e < edits && len(out) > 0; e++ {
+		pos := rng.Intn(len(out))
+		t := topicPop.Sample(rng)
+		out[pos] = topicWord(t, topicZ.Sample(rng))
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Binary converts documents to binary set-of-words vectors (the DBLP
+// representation of the paper: "the vector of a publication represents
+// whether the corresponding word is present").
+func Binary(docs []Doc) []vecmath.Vector {
+	out := make([]vecmath.Vector, len(docs))
+	for i, d := range docs {
+		out[i] = vecmath.FromDims(d)
+	}
+	return out
+}
+
+// TFIDF converts documents to TF-IDF vectors: weight(t, d) = tf(t, d) ·
+// ln(1 + N/df(t)). Tokens appearing in every document get small but non-zero
+// weight, like the NYT/PUBMED representations.
+func TFIDF(docs []Doc) ([]vecmath.Vector, error) {
+	df := make(map[uint32]int)
+	for _, d := range docs {
+		seen := make(map[uint32]struct{}, len(d))
+		for _, t := range d {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				df[t]++
+			}
+		}
+	}
+	n := float64(len(docs))
+	out := make([]vecmath.Vector, len(docs))
+	for i, d := range docs {
+		tf := make(map[uint32]float32, len(d))
+		for _, t := range d {
+			tf[t]++
+		}
+		es := make([]vecmath.Entry, 0, len(tf))
+		for t, f := range tf {
+			idf := math.Log(1 + n/float64(df[t]))
+			es = append(es, vecmath.Entry{Dim: t, Weight: f * float32(idf)})
+		}
+		v, err := vecmath.New(es)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Stats summarizes a vector collection for diagnostics and docs.
+type Stats struct {
+	N            int
+	AvgNNZ       float64
+	MinNNZ       int
+	MaxNNZ       int
+	DistinctDims int
+}
+
+// Describe computes collection statistics.
+func Describe(vs []vecmath.Vector) Stats {
+	s := Stats{N: len(vs), MinNNZ: math.MaxInt32}
+	dims := make(map[uint32]struct{})
+	total := 0
+	for _, v := range vs {
+		nnz := v.NNZ()
+		total += nnz
+		if nnz < s.MinNNZ {
+			s.MinNNZ = nnz
+		}
+		if nnz > s.MaxNNZ {
+			s.MaxNNZ = nnz
+		}
+		for _, e := range v.Entries() {
+			dims[e.Dim] = struct{}{}
+		}
+	}
+	if s.N > 0 {
+		s.AvgNNZ = float64(total) / float64(s.N)
+	} else {
+		s.MinNNZ = 0
+	}
+	s.DistinctDims = len(dims)
+	return s
+}

@@ -1,0 +1,240 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+
+	"lshjoin/internal/vecmath"
+)
+
+func validConfig() Config {
+	return Config{
+		N:            500,
+		Vocab:        5000,
+		Stopwords:    50,
+		Topics:       40,
+		TopicVocab:   200,
+		TopicZipf:    1.0,
+		TopicsPerDoc: 2,
+		StopwordRate: 0.2,
+		StopwordZipf: 1.0,
+		MeanLen:      14,
+		MinLen:       3,
+		MaxLen:       100,
+		LenSpread:    0.4,
+		NearDupRate:  0.02,
+		NearDupEdits: 2,
+		ExactDupRate: 0.005,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.Vocab = c.Stopwords },
+		func(c *Config) { c.Topics = 0 },
+		func(c *Config) { c.TopicVocab = 0 },
+		func(c *Config) { c.TopicsPerDoc = 0 },
+		func(c *Config) { c.MeanLen = 0 },
+		func(c *Config) { c.MaxLen = c.MinLen - 1 },
+		func(c *Config) { c.StopwordRate = 1.5 },
+		func(c *Config) { c.NearDupRate = 0.9; c.ExactDupRate = 0.2 },
+		func(c *Config) { c.TopicZipf = 0 },
+	}
+	for i, mutate := range bad {
+		c := validConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := validConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := validConfig()
+	a, err := Generate(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("doc %d lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("doc %d token %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	c := validConfig()
+	a, _ := Generate(c, 1)
+	b, _ := Generate(c, 2)
+	same := 0
+	for i := range a {
+		if len(a[i]) == len(b[i]) {
+			eq := true
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				same++
+			}
+		}
+	}
+	if same > len(a)/10 {
+		t.Errorf("%d/%d docs identical across seeds", same, len(a))
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	c := validConfig()
+	docs, err := Generate(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != c.N {
+		t.Fatalf("got %d docs, want %d", len(docs), c.N)
+	}
+	for i, d := range docs {
+		if len(d) < c.MinLen || len(d) > c.MaxLen {
+			t.Errorf("doc %d length %d out of [%d,%d]", i, len(d), c.MinLen, c.MaxLen)
+		}
+		for _, tok := range d {
+			if int(tok) >= c.Vocab {
+				t.Errorf("doc %d token %d out of vocab", i, tok)
+			}
+		}
+	}
+}
+
+func TestExactDuplicatesExist(t *testing.T) {
+	c := validConfig()
+	c.N = 2000
+	c.ExactDupRate = 0.05
+	docs, err := Generate(c, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := Binary(docs)
+	dups := 0
+	for i := 1; i < len(vecs); i++ {
+		for j := 0; j < i && j < 50; j++ {
+			if vecmath.Equal(vecs[i], vecs[j]) {
+				dups++
+				break
+			}
+		}
+	}
+	if dups == 0 {
+		t.Error("no duplicate documents generated despite ExactDupRate=0.05")
+	}
+}
+
+func TestNearDuplicatesAreSimilar(t *testing.T) {
+	c := validConfig()
+	c.N = 3000
+	c.NearDupRate = 0.2
+	c.ExactDupRate = 0
+	c.LenSpread = 0
+	docs, err := Generate(c, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := Binary(docs)
+	// There should be pairs with high but sub-1.0 similarity.
+	high := 0
+	for i := 1; i < 500; i++ {
+		for j := 0; j < i; j++ {
+			s := vecmath.Cosine(vecs[i], vecs[j])
+			if s >= 0.7 && s < 1 {
+				high++
+			}
+		}
+	}
+	if high == 0 {
+		t.Error("no near-duplicate pairs found despite NearDupRate=0.2")
+	}
+}
+
+func TestBinaryVectors(t *testing.T) {
+	docs := []Doc{{1, 1, 2}, {3}}
+	vecs := Binary(docs)
+	if vecs[0].NNZ() != 2 || vecs[0].Weight(1) != 1 || vecs[0].Weight(2) != 1 {
+		t.Errorf("binary vector wrong: %v", vecs[0])
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	// Token 1 appears in both docs (low idf), token 2 only in doc 0 (high
+	// idf), and twice (tf 2).
+	docs := []Doc{{1, 2, 2}, {1, 3}}
+	vecs, err := TFIDF(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idfCommon := math.Log(1 + 2.0/2.0)
+	idfRare := math.Log(1 + 2.0/1.0)
+	if got := float64(vecs[0].Weight(1)); math.Abs(got-idfCommon) > 1e-6 {
+		t.Errorf("weight(1) = %v, want %v", got, idfCommon)
+	}
+	if got := float64(vecs[0].Weight(2)); math.Abs(got-2*idfRare) > 1e-6 {
+		t.Errorf("weight(2) = %v, want %v", got, 2*idfRare)
+	}
+	if vecs[1].Weight(2) != 0 {
+		t.Error("doc 1 should not weight token 2")
+	}
+}
+
+func TestTFIDFRareTokensWeighMore(t *testing.T) {
+	c := validConfig()
+	docs, err := Generate(c, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, err := TFIDF(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != len(docs) {
+		t.Fatal("length mismatch")
+	}
+	for i, v := range vecs {
+		if v.IsZero() {
+			t.Errorf("doc %d vectorized to zero", i)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	vecs := []vecmath.Vector{
+		vecmath.FromDims([]uint32{1, 2, 3}),
+		vecmath.FromDims([]uint32{3, 4}),
+	}
+	s := Describe(vecs)
+	if s.N != 2 || s.MinNNZ != 2 || s.MaxNNZ != 3 || s.DistinctDims != 4 {
+		t.Errorf("stats: %+v", s)
+	}
+	if math.Abs(s.AvgNNZ-2.5) > 1e-12 {
+		t.Errorf("AvgNNZ = %v", s.AvgNNZ)
+	}
+	empty := Describe(nil)
+	if empty.N != 0 || empty.MinNNZ != 0 {
+		t.Errorf("empty stats: %+v", empty)
+	}
+}

@@ -1,0 +1,150 @@
+// Package dataset provides the three workload presets of the paper's
+// evaluation as synthetic equivalents (DESIGN.md §3 documents the
+// substitution): DBLP-like binary title vectors, NYT-like long TF-IDF
+// articles, and PUBMED-like largely-dissimilar TF-IDF abstracts. Scale is a
+// parameter; experiments default to laptop-scale n while preserving the
+// similarity-skew shape the estimators are sensitive to.
+package dataset
+
+import (
+	"fmt"
+
+	"lshjoin/internal/corpus"
+	"lshjoin/internal/vecmath"
+)
+
+// Dataset is a named vector collection.
+type Dataset struct {
+	Name    string
+	Vectors []vecmath.Vector
+	// RecommendedK is the LSH parameter the paper uses with this data
+	// (k = 20 for DBLP/NYT per §6.1, k = 5 for PUBMED per App. C.4).
+	RecommendedK int
+}
+
+// N returns the collection size.
+func (d Dataset) N() int { return len(d.Vectors) }
+
+// Kind selects one of the paper's three corpus shapes.
+type Kind string
+
+// The three dataset presets.
+const (
+	DBLP   Kind = "dblp"
+	NYT    Kind = "nyt"
+	PubMed Kind = "pubmed"
+)
+
+// Kinds lists all presets.
+func Kinds() []Kind { return []Kind{DBLP, NYT, PubMed} }
+
+// Generate builds the preset identified by kind with n vectors from seed.
+func Generate(kind Kind, n int, seed uint64) (Dataset, error) {
+	switch kind {
+	case DBLP:
+		return DBLPLike(n, seed)
+	case NYT:
+		return NYTLike(n, seed)
+	case PubMed:
+		return PubMedLike(n, seed)
+	default:
+		return Dataset{}, fmt.Errorf("dataset: unknown kind %q", kind)
+	}
+}
+
+// DBLPLike mimics the paper's DBLP corpus: binary vectors over a ~56k-word
+// vocabulary, average ~14 features (min 3, max 219), a heavy stop-word head
+// (titles share words like "analysis", "system"), and a small population of
+// exact and near duplicate records (reissued papers) that dominate the join
+// at τ ≥ 0.8.
+func DBLPLike(n int, seed uint64) (Dataset, error) {
+	cfg := corpus.Config{
+		N:            n,
+		Vocab:        56000,
+		Stopwords:    40,
+		Topics:       400,
+		TopicVocab:   300,
+		TopicZipf:    1.05,
+		TopicsPerDoc: 2,
+		StopwordRate: 0.35,
+		StopwordZipf: 0.9,
+		MeanLen:      14,
+		MinLen:       3,
+		MaxLen:       219,
+		LenSpread:    0.35,
+		NearDupRate:  0.012,
+		NearDupEdits: 2,
+		ExactDupRate: 0.008,
+	}
+	docs, err := corpus.Generate(cfg, seed)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("dataset: dblp: %w", err)
+	}
+	return Dataset{Name: "dblp", Vectors: corpus.Binary(docs), RecommendedK: 20}, nil
+}
+
+// NYTLike mimics the NYTimes corpus: long documents (avg ~232 features) over
+// a ~100k vocabulary with TF-IDF weights, strong topical structure, and some
+// syndicated near-duplicates.
+func NYTLike(n int, seed uint64) (Dataset, error) {
+	cfg := corpus.Config{
+		N:            n,
+		Vocab:        100000,
+		Stopwords:    120,
+		Topics:       150,
+		TopicVocab:   2000,
+		TopicZipf:    1.1,
+		TopicsPerDoc: 3,
+		StopwordRate: 0.4,
+		StopwordZipf: 0.8,
+		MeanLen:      232,
+		MinLen:       40,
+		MaxLen:       1200,
+		LenSpread:    0.3,
+		NearDupRate:  0.012,
+		NearDupEdits: 20,
+		ExactDupRate: 0.003,
+	}
+	docs, err := corpus.Generate(cfg, seed)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("dataset: nyt: %w", err)
+	}
+	vecs, err := corpus.TFIDF(docs)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("dataset: nyt: %w", err)
+	}
+	return Dataset{Name: "nyt", Vectors: vecs, RecommendedK: 20}, nil
+}
+
+// PubMedLike mimics the PubMed corpus of App. C.4: TF-IDF abstracts over a
+// ~140k vocabulary that are largely dissimilar (many narrow topics, weak
+// stop-word head), the regime where the paper recommends small k (= 5).
+func PubMedLike(n int, seed uint64) (Dataset, error) {
+	cfg := corpus.Config{
+		N:            n,
+		Vocab:        140000,
+		Stopwords:    60,
+		Topics:       1200,
+		TopicVocab:   800,
+		TopicZipf:    1.0,
+		TopicsPerDoc: 2,
+		StopwordRate: 0.15,
+		StopwordZipf: 0.8,
+		MeanLen:      120,
+		MinLen:       20,
+		MaxLen:       600,
+		LenSpread:    0.3,
+		NearDupRate:  0.006,
+		NearDupEdits: 10,
+		ExactDupRate: 0.002,
+	}
+	docs, err := corpus.Generate(cfg, seed)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("dataset: pubmed: %w", err)
+	}
+	vecs, err := corpus.TFIDF(docs)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("dataset: pubmed: %w", err)
+	}
+	return Dataset{Name: "pubmed", Vectors: vecs, RecommendedK: 5}, nil
+}

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"testing"
+
+	"lshjoin/internal/corpus"
+	"lshjoin/internal/exactjoin"
+	"lshjoin/internal/vecmath"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		d, err := Generate(kind, 200, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if d.N() != 200 {
+			t.Errorf("%s: n = %d", kind, d.N())
+		}
+		if d.Name != string(kind) {
+			t.Errorf("%s: name %q", kind, d.Name)
+		}
+		if d.RecommendedK <= 0 {
+			t.Errorf("%s: no recommended k", kind)
+		}
+		for i, v := range d.Vectors {
+			if v.IsZero() {
+				t.Errorf("%s: vector %d is zero", kind, i)
+			}
+		}
+	}
+	if _, err := Generate("bogus", 10, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	d, err := DBLPLike(2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := corpus.Describe(d.Vectors)
+	if s.AvgNNZ < 8 || s.AvgNNZ > 22 {
+		t.Errorf("avg features %v, paper reports ~14", s.AvgNNZ)
+	}
+	if s.MinNNZ < 1 {
+		t.Errorf("min features %d", s.MinNNZ)
+	}
+	if s.MaxNNZ > 219 {
+		t.Errorf("max features %d exceeds paper bound 219", s.MaxNNZ)
+	}
+	// Binary vectors: all weights are 1.
+	for _, e := range d.Vectors[0].Entries() {
+		if e.Weight != 1 {
+			t.Fatalf("DBLP vectors must be binary, got weight %v", e.Weight)
+		}
+	}
+}
+
+func TestNYTShape(t *testing.T) {
+	d, err := NYTLike(300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := corpus.Describe(d.Vectors)
+	if s.AvgNNZ < 80 || s.AvgNNZ > 400 {
+		t.Errorf("avg features %v, paper reports ~232", s.AvgNNZ)
+	}
+	// TF-IDF vectors: weights vary.
+	varied := false
+	for _, e := range d.Vectors[0].Entries() {
+		if e.Weight != d.Vectors[0].Entries()[0].Weight {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("NYT vectors should have varied TF-IDF weights")
+	}
+}
+
+// TestSimilaritySkewShape verifies the property the whole paper hinges on:
+// join size falls by orders of magnitude as τ rises, yet stays non-zero at
+// τ = 0.9 (the near/exact duplicates).
+func TestSimilaritySkewShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skew check is moderately expensive")
+	}
+	d, err := DBLPLike(4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := exactjoin.NewJoiner(d.Vectors)
+	counts, err := j.Counts([]float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := float64(j.M())
+	selLow := float64(counts[0]) / m
+	selMid := float64(counts[1]) / m
+	selHigh := float64(counts[2]) / m
+	if selLow < 0.005 {
+		t.Errorf("selectivity at τ=0.1 is %v; want a fat low end", selLow)
+	}
+	if counts[2] == 0 {
+		t.Error("no true pairs at τ=0.9; duplicates missing")
+	}
+	if !(selLow > 50*selMid && selMid > 3*selHigh) {
+		t.Errorf("selectivity not skewed: %v / %v / %v", selLow, selMid, selHigh)
+	}
+	if float64(counts[2]) > 0.001*m {
+		t.Errorf("τ=0.9 join too large (%d of %.0f pairs); high-threshold regime lost", counts[2], m)
+	}
+}
+
+func TestPubMedLargelyDissimilar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dissimilarity check is moderately expensive")
+	}
+	d, err := PubMedLike(1500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := exactjoin.NewJoiner(d.Vectors)
+	c, err := j.CountAt(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := float64(c) / float64(j.M())
+	if sel > 0.01 {
+		t.Errorf("PubMed-like selectivity at τ=0.5 is %v; should be largely dissimilar", sel)
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	a, _ := DBLPLike(100, 5)
+	b, _ := DBLPLike(100, 5)
+	for i := range a.Vectors {
+		if !vecmath.Equal(a.Vectors[i], b.Vectors[i]) {
+			t.Fatalf("vector %d differs between runs", i)
+		}
+	}
+}

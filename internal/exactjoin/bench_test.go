@@ -1,0 +1,41 @@
+package exactjoin
+
+import "testing"
+
+// BenchmarkCounts measures the inverted-index exact count pass (all
+// thresholds amortized into one scan).
+func BenchmarkCounts(b *testing.B) {
+	data := randCollection(3000, 2000, 14, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := NewJoiner(data)
+		if _, err := j.Counts([]float64{0.1, 0.5, 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairsHighThreshold measures the prefix-filtered join where the
+// filter is strongest.
+func BenchmarkPairsHighThreshold(b *testing.B) {
+	data := randCollection(3000, 2000, 14, 1)
+	j := NewJoiner(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Pairs(0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairsMidThreshold measures the join at a permissive threshold.
+func BenchmarkPairsMidThreshold(b *testing.B) {
+	data := randCollection(1500, 2000, 14, 1)
+	j := NewJoiner(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Pairs(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

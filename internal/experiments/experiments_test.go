@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lshjoin/internal/dataset"
+)
+
+// tinySuite keeps integration tests fast: small collections, few reps.
+func tinySuite() *Suite {
+	return NewSuite(Config{DBLPN: 1500, NYTN: 500, PubMedN: 600, Reps: 5, Seed: 7})
+}
+
+func TestEnvTruthCaching(t *testing.T) {
+	s := tinySuite()
+	env, err := s.Env(dataset.DBLP, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := env.TruthAt(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.TruthAt(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cached truth changed: %d vs %d", a, b)
+	}
+	multi, err := env.Truth(0.3, 0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi[0.5] != a {
+		t.Errorf("grid truth %d disagrees with single %d", multi[0.5], a)
+	}
+	if multi[0.3] < multi[0.5] || multi[0.5] < multi[0.9] {
+		t.Errorf("truth not monotone: %v", multi)
+	}
+}
+
+func TestEnvReuse(t *testing.T) {
+	s := tinySuite()
+	a, err := s.Env(dataset.DBLP, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Env(dataset.DBLP, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same (kind,k,ℓ) should reuse the environment")
+	}
+	c, err := s.Env(dataset.DBLP, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different k must build a separate environment")
+	}
+}
+
+func TestStratumTruthConsistency(t *testing.T) {
+	s := tinySuite()
+	env, err := s.Env(dataset.DBLP, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := []float64{0.3, 0.7}
+	jh := env.StratumTruth(0, taus)
+	truths, err := env.Truth(taus...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range taus {
+		if jh[tau] > truths[tau] {
+			t.Errorf("τ=%v: J_H=%d exceeds J=%d", tau, jh[tau], truths[tau])
+		}
+		if jh[tau] > env.Index.Table(0).NH() {
+			t.Errorf("τ=%v: J_H=%d exceeds N_H=%d", tau, jh[tau], env.Index.Table(0).NH())
+		}
+	}
+	if jh[0.3] < jh[0.7] {
+		t.Errorf("J_H not monotone: %v", jh)
+	}
+}
+
+func TestRegistryCoversDesignIndex(t *testing.T) {
+	want := []string{
+		"table1", "joinsize", "fig2", "fig3", "fig4", "space", "runtime",
+		"fig5", "fig6", "fig7", "fig8", "cs", "fig9", "table2", "build", "ablation",
+	}
+	reg := Registry()
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(want) {
+		t.Errorf("registry has %d entries, DESIGN.md indexes %d", len(reg), len(want))
+	}
+}
+
+// TestEachExperimentRuns executes every registered experiment at tiny scale
+// and sanity-checks the rendered output.
+func TestEachExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment run")
+	}
+	s := tinySuite()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Registry()[id](s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("experiment produced no tables")
+			}
+			for _, tab := range tables {
+				if tab.ID == "" || tab.Title == "" || len(tab.Columns) == 0 {
+					t.Errorf("malformed table: %+v", tab)
+				}
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %q has no rows", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Errorf("table %q: row width %d != %d columns", tab.Title, len(row), len(tab.Columns))
+					}
+				}
+				var buf bytes.Buffer
+				if err := tab.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(buf.String(), tab.Title) {
+					t.Error("render lost the title")
+				}
+			}
+		})
+	}
+}
+
+func TestRenderFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### [x] demo", "| a ", "long-column", "> a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fnum(0) != "0" {
+		t.Error("fnum(0)")
+	}
+	if fpct(0.5) != "+50.0%" {
+		t.Errorf("fpct = %q", fpct(0.5))
+	}
+	if ftau(0.30000001) != "0.3" {
+		t.Errorf("ftau = %q", ftau(0.3))
+	}
+	if fint(42) != "42" {
+		t.Errorf("fint = %q", fint(42))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := NewSuite(Config{})
+	cfg := s.Config()
+	if cfg.DBLPN != 20000 || cfg.NYTN != 5000 || cfg.PubMedN != 8000 || cfg.Reps != 50 || cfg.Seed != 42 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: the same rows/series the paper
+// reports, plus notes on how to read them.
+type Table struct {
+	ID      string // experiment id from DESIGN.md §5 (e.g. "fig2")
+	Title   string // paper artifact (e.g. "Figure 2(a): relative error …")
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table as GitHub-flavored markdown.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### [%s] %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	pad := func(s string, w int) string {
+		if len(s) >= w {
+			return s
+		}
+		return s + strings.Repeat(" ", w-len(s))
+	}
+	header := make([]string, len(t.Columns))
+	rule := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = pad(c, widths[i])
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(rule, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = pad(row[i], widths[i])
+			} else {
+				cells[i] = pad("", widths[i])
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderAll renders a sequence of tables.
+func RenderAll(w io.Writer, tables []*Table) error {
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatting helpers shared by the experiment runners.
+
+func fnum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func fint(v int64) string { return fmt.Sprintf("%d", v) }
+
+func fpct(v float64) string { return fmt.Sprintf("%+.1f%%", 100*v) }
+
+func ftau(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lshjoin/internal/core"
+	"lshjoin/internal/dataset"
+	"lshjoin/internal/stats"
+	"lshjoin/internal/xrand"
+)
+
+// Config sizes the experiment suite. Zero values take laptop-scale defaults
+// chosen so the full suite runs in minutes while preserving the paper's
+// regime structure (see DESIGN.md §3 on scale substitution).
+type Config struct {
+	DBLPN   int // DBLP-like collection size (default 20000)
+	NYTN    int // NYT-like collection size (default 5000)
+	PubMedN int // PUBMED-like collection size (default 8000)
+	Reps    int // estimates per (algorithm, τ) cell; paper uses 100 (default 50)
+	Seed    uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.DBLPN == 0 {
+		c.DBLPN = 20000
+	}
+	if c.NYTN == 0 {
+		c.NYTN = 5000
+	}
+	if c.PubMedN == 0 {
+		c.PubMedN = 8000
+	}
+	if c.Reps == 0 {
+		c.Reps = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Suite lazily builds one Env per dataset kind and runs experiments by ID.
+type Suite struct {
+	cfg  Config
+	envs map[string]*Env // keyed by kind/k/ell
+}
+
+// NewSuite returns a suite with the given configuration.
+func NewSuite(cfg Config) *Suite {
+	cfg.fillDefaults()
+	return &Suite{cfg: cfg, envs: make(map[string]*Env)}
+}
+
+// Config returns the effective configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Env returns (building on first use) the environment for a dataset kind
+// with the given LSH parameters (k ≤ 0 → dataset default, ell ≤ 0 → 1).
+func (s *Suite) Env(kind dataset.Kind, k, ell int) (*Env, error) {
+	n := 0
+	switch kind {
+	case dataset.DBLP:
+		n = s.cfg.DBLPN
+	case dataset.NYT:
+		n = s.cfg.NYTN
+	case dataset.PubMed:
+		n = s.cfg.PubMedN
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset kind %q", kind)
+	}
+	key := fmt.Sprintf("%s/%d/%d", kind, k, ell)
+	if e, ok := s.envs[key]; ok {
+		return e, nil
+	}
+	e, err := NewEnv(kind, n, k, ell, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.envs[key] = e
+	return e, nil
+}
+
+// Runner executes one experiment.
+type Runner func(*Suite) ([]*Table, error)
+
+// Registry maps experiment IDs (DESIGN.md §5) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1":   func(s *Suite) ([]*Table, error) { return s.Table1() },
+		"joinsize": func(s *Suite) ([]*Table, error) { return s.JoinSizeTable() },
+		"fig2":     func(s *Suite) ([]*Table, error) { return s.Figure2() },
+		"fig3":     func(s *Suite) ([]*Table, error) { return s.Figure3() },
+		"fig4":     func(s *Suite) ([]*Table, error) { return s.Figure4() },
+		"space":    func(s *Suite) ([]*Table, error) { return s.SpaceTable() },
+		"runtime":  func(s *Suite) ([]*Table, error) { return s.RuntimeTable() },
+		"fig5":     func(s *Suite) ([]*Table, error) { return s.Figure56() },
+		"fig6":     func(s *Suite) ([]*Table, error) { return s.Figure56() },
+		"fig7":     func(s *Suite) ([]*Table, error) { return s.Figure78() },
+		"fig8":     func(s *Suite) ([]*Table, error) { return s.Figure78() },
+		"cs":       func(s *Suite) ([]*Table, error) { return s.CsSweep() },
+		"fig9":     func(s *Suite) ([]*Table, error) { return s.Figure9() },
+		"table2":   func(s *Suite) ([]*Table, error) { return s.Table2() },
+		"build":    func(s *Suite) ([]*Table, error) { return s.BuildTable() },
+		"ablation": func(s *Suite) ([]*Table, error) { return s.Ablations() },
+	}
+}
+
+// IDs returns the experiment ids in a stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll executes every experiment once (fig5/fig6 and fig7/fig8 pairs run
+// once) in a stable order.
+func (s *Suite) RunAll() ([]*Table, error) {
+	order := []string{
+		"joinsize", "table1", "fig2", "fig3", "fig4", "space", "runtime",
+		"fig5", "fig7", "cs", "fig9", "table2", "build", "ablation",
+	}
+	reg := Registry()
+	var out []*Table
+	for _, id := range order {
+		tables, err := reg[id](s)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}
+
+// measured is one algorithm's estimate series at one τ, with timing.
+type measured struct {
+	summary stats.ErrorSummary
+	perEst  time.Duration
+}
+
+// runCell collects cfg.Reps estimates of est at tau against the given truth.
+func (s *Suite) runCell(est core.Estimator, tau float64, truth int64, seed uint64) (measured, error) {
+	rng := xrand.New(seed)
+	estimates := make([]float64, 0, s.cfg.Reps)
+	t0 := time.Now()
+	for r := 0; r < s.cfg.Reps; r++ {
+		v, err := est.Estimate(tau, rng)
+		if err != nil {
+			return measured{}, fmt.Errorf("%s at τ=%v: %w", est.Name(), tau, err)
+		}
+		estimates = append(estimates, v)
+	}
+	elapsed := time.Since(t0)
+	return measured{
+		summary: stats.Summarize(estimates, float64(truth)),
+		perEst:  elapsed / time.Duration(s.cfg.Reps),
+	}, nil
+}

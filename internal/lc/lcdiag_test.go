@@ -1,0 +1,35 @@
+package lc
+
+import (
+	"testing"
+
+	"lshjoin/internal/dataset"
+	"lshjoin/internal/lsh"
+)
+
+// TestDiagDumpFitPoints logs the surviving power-law anchors on a DBLP-scale
+// collection — the diagnostic behind the binary-LSH separability discussion
+// in the package comment. It asserts the documented qualitative behavior:
+// with k = 20 one-bit hashes, at most the top one or two levels survive.
+func TestDiagDumpFitPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale diagnostic")
+	}
+	d, err := dataset.DBLPLike(20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(d.Vectors, lsh.NewSimHash(42^0x15AB1E), Config{K: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, p0 := l.FitPoints()
+	c, z, ok := l.PowerLaw()
+	t.Logf("p0=%v c=%v z=%v ok=%v", p0, c, z, ok)
+	for _, p := range pts {
+		t.Logf("point s=%.4f v=%.1f", p.S, p.V)
+	}
+	if len(pts) > 2 {
+		t.Errorf("binary LSH at k=20 should leave ≤2 separable levels, got %d", len(pts))
+	}
+}

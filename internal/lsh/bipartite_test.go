@@ -1,0 +1,137 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+func buildBipartite(t *testing.T) (*Bipartite, []vecmath.Vector, []vecmath.Vector) {
+	t.Helper()
+	left := []vecmath.Vector{
+		vecmath.FromDims([]uint32{1, 2, 3}),
+		vecmath.FromDims([]uint32{50, 51}),
+		vecmath.FromDims([]uint32{1, 2, 3}),
+	}
+	right := []vecmath.Vector{
+		vecmath.FromDims([]uint32{1, 2, 3}),
+		vecmath.FromDims([]uint32{90, 91, 92}),
+	}
+	family := NewSimHash(7)
+	li, err := Build(left, family, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Build(right, family, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := NewBipartite(li, ri, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp, left, right
+}
+
+func TestBipartiteValidation(t *testing.T) {
+	left := []vecmath.Vector{vecmath.FromDims([]uint32{1})}
+	li, _ := Build(left, NewSimHash(1), 4, 1)
+	ri, _ := Build(left, NewSimHash(2), 4, 1) // different seed → different family value
+	if _, err := NewBipartite(li, ri, 0); err == nil {
+		t.Error("mismatched families accepted")
+	}
+	ri2, _ := Build(left, NewSimHash(1), 5, 1)
+	if _, err := NewBipartite(li, ri2, 0); err == nil {
+		t.Error("mismatched k accepted")
+	}
+	ri3, _ := Build(left, NewSimHash(1), 4, 1)
+	if _, err := NewBipartite(li, ri3, 1); err == nil {
+		t.Error("out-of-range table accepted")
+	}
+}
+
+func TestBipartiteNHMatchesEnumeration(t *testing.T) {
+	bp, _, _ := buildBipartite(t)
+	var count int64
+	bp.ForEachIntraPair(func(u, v int32) bool {
+		if !bp.SameBucket(int(u), int(v)) {
+			t.Fatalf("pair (%d,%d) not co-bucketed", u, v)
+		}
+		count++
+		return true
+	})
+	if count != bp.NH() {
+		t.Errorf("enumerated %d pairs, NH = %d", count, bp.NH())
+	}
+	if bp.M() != 6 {
+		t.Errorf("M = %d, want 6", bp.M())
+	}
+	if bp.NH()+bp.NL() != bp.M() {
+		t.Error("NH + NL != M")
+	}
+}
+
+func TestBipartiteIdenticalVectorsCoBucketed(t *testing.T) {
+	bp, left, right := buildBipartite(t)
+	// left[0] == left[2] == right[0], so at least pairs (0,0) and (2,0)
+	// must be in stratum H.
+	if !bp.SameBucket(0, 0) || !bp.SameBucket(2, 0) {
+		t.Error("identical cross vectors must share a bucket")
+	}
+	if bp.Sim(0, 0) != 1 {
+		t.Errorf("Sim(0,0) = %v", bp.Sim(0, 0))
+	}
+	_ = left
+	_ = right
+}
+
+func TestBipartiteSampleUniform(t *testing.T) {
+	bp, _, _ := buildBipartite(t)
+	if bp.NH() == 0 {
+		t.Skip("degenerate seed")
+	}
+	rng := xrand.New(9)
+	counts := map[[2]int]int{}
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		u, v, ok := bp.SamplePair(rng)
+		if !ok {
+			t.Fatal("SamplePair failed")
+		}
+		if !bp.SameBucket(u, v) {
+			t.Fatal("sampled pair not co-bucketed")
+		}
+		counts[[2]int{u, v}]++
+	}
+	want := float64(draws) / float64(bp.NH())
+	for pair, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("pair %v: %d draws, want ~%.0f", pair, c, want)
+		}
+	}
+}
+
+func TestBipartiteEmptyOverlap(t *testing.T) {
+	family := NewSimHash(3)
+	li, _ := Build([]vecmath.Vector{vecmath.FromDims([]uint32{1, 2})}, family, 32, 1)
+	ri, _ := Build([]vecmath.Vector{vecmath.FromDims([]uint32{500, 501})}, family, 32, 1)
+	bp, err := NewBipartite(li, ri, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.NH() != 0 {
+		t.Skip("unlucky collision")
+	}
+	if _, _, ok := bp.SamplePair(xrand.New(1)); ok {
+		t.Error("SamplePair should fail on empty stratum")
+	}
+}
+
+func TestBipartiteSizes(t *testing.T) {
+	bp, left, right := buildBipartite(t)
+	if bp.LeftN() != len(left) || bp.RightN() != len(right) {
+		t.Errorf("sizes %d,%d want %d,%d", bp.LeftN(), bp.RightN(), len(left), len(right))
+	}
+}

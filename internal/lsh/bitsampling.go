@@ -1,0 +1,80 @@
+package lsh
+
+import (
+	"fmt"
+
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// BitSampling is the Hamming-distance LSH family (Indyk–Motwani): hash
+// function fn reads one fixed, randomly chosen coordinate of the binary
+// vector. For binary vectors over a universe of D dimensions,
+//
+//	P(h(u) = h(v)) = 1 − Hamming(u, v)/D,
+//
+// which equals the Hamming similarity — so this family satisfies the
+// paper's idealized Definition 3 (p(s) = s) exactly, like MinHash does for
+// Jaccard. Weights are ignored; any non-zero entry reads as a set bit.
+type BitSampling struct {
+	seed     uint64
+	universe uint32
+}
+
+// NewBitSampling returns the family for binary vectors over dimensions
+// [0, universe).
+func NewBitSampling(seed uint64, universe uint32) (BitSampling, error) {
+	if universe == 0 {
+		return BitSampling{}, fmt.Errorf("lsh: bit sampling needs a positive universe size")
+	}
+	return BitSampling{seed: seed, universe: universe}, nil
+}
+
+// Name implements Family.
+func (BitSampling) Name() string { return "bitsampling" }
+
+// Bits implements Family: one bit per function.
+func (BitSampling) Bits() int { return 1 }
+
+// Universe returns the dimension count D.
+func (f BitSampling) Universe() uint32 { return f.universe }
+
+// Sim implements Family with Hamming similarity 1 − Hamming(u,v)/D over the
+// supports of u and v.
+func (f BitSampling) Sim(u, v vecmath.Vector) float64 {
+	inter := vecmath.Overlap(u, v)
+	// Hamming distance of the supports = |A| + |B| − 2|A∩B|.
+	d := u.NNZ() + v.NNZ() - 2*inter
+	return 1 - float64(d)/float64(f.universe)
+}
+
+// Hash implements Family: the bit of v at the coordinate owned by fn.
+func (f BitSampling) Hash(fn int, v vecmath.Vector) uint64 {
+	dim := uint32(xrand.Mix2(f.seed^0xB17B17, uint64(fn)) % uint64(f.universe))
+	if v.Weight(dim) != 0 {
+		return 1
+	}
+	return 0
+}
+
+// CollisionProb implements Family: exactly the Hamming similarity.
+func (BitSampling) CollisionProb(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// SimFromCollisionProb implements Family.
+func (BitSampling) SimFromCollisionProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,101 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"lshjoin/internal/vecmath"
+)
+
+func TestBitSamplingValidation(t *testing.T) {
+	if _, err := NewBitSampling(1, 0); err == nil {
+		t.Error("zero universe accepted")
+	}
+	f, err := NewBitSampling(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "bitsampling" || f.Bits() != 1 || f.Universe() != 100 {
+		t.Errorf("family metadata wrong: %+v", f)
+	}
+}
+
+func TestBitSamplingHammingSim(t *testing.T) {
+	f, err := NewBitSampling(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := vecmath.FromDims([]uint32{1, 2, 3})
+	b := vecmath.FromDims([]uint32{2, 3, 4, 5})
+	// Symmetric difference {1,4,5} → Hamming 3 → sim 1 − 3/10 = 0.7.
+	if got := f.Sim(a, b); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Sim = %v, want 0.7", got)
+	}
+	if got := f.Sim(a, a); got != 1 {
+		t.Errorf("self Sim = %v", got)
+	}
+}
+
+// TestBitSamplingDefinition3Exact: the empirical collision rate over many
+// functions equals the Hamming similarity — this family realizes the
+// paper's idealized Definition 3 with no distortion.
+func TestBitSamplingDefinition3Exact(t *testing.T) {
+	const universe = 64
+	f, err := NewBitSampling(7, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := vecmath.FromDims([]uint32{0, 1, 2, 3, 4, 5, 6, 7})
+	b := vecmath.FromDims([]uint32{4, 5, 6, 7, 8, 9, 10, 11})
+	want := f.Sim(a, b) // Hamming 8 of 64 → 0.875
+	if math.Abs(want-0.875) > 1e-12 {
+		t.Fatalf("setup: sim = %v", want)
+	}
+	const fns = 40000
+	coll := 0
+	for fn := 0; fn < fns; fn++ {
+		if f.Hash(fn, a) == f.Hash(fn, b) {
+			coll++
+		}
+	}
+	got := float64(coll) / fns
+	se := math.Sqrt(want * (1 - want) / fns)
+	if math.Abs(got-want) > 5*se+1e-3 {
+		t.Errorf("collision rate %v, Hamming similarity %v", got, want)
+	}
+}
+
+func TestBitSamplingDeterministicPerFunction(t *testing.T) {
+	f, err := NewBitSampling(3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vecmath.FromDims([]uint32{1, 7, 33})
+	for fn := 0; fn < 100; fn++ {
+		if f.Hash(fn, v) != f.Hash(fn, v) {
+			t.Fatalf("fn %d not deterministic", fn)
+		}
+	}
+}
+
+func TestBitSamplingIndexBuild(t *testing.T) {
+	f, err := NewBitSampling(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randData(150, 200, 10, 11)
+	idx, err := Build(data, f, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical vectors always share buckets.
+	dup := append([]vecmath.Vector{data[0], data[0]}, data...)
+	idx2, err := Build(dup, f, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx2.Table(0).SameBucket(0, 1) {
+		t.Error("duplicates must share a bit-sampling bucket")
+	}
+	_ = idx
+}

@@ -1,0 +1,64 @@
+package lsh
+
+import "lshjoin/internal/vecmath"
+
+// Dynamic maintenance: the paper pitches the estimator as "minimal addition
+// to the existing LSH index", and existing LSH indexes grow as applications
+// ingest vectors. Insert keeps the bucket counts and N_H that estimation
+// depends on exact under appends; the weighted-sampling prefix sums are
+// rebuilt lazily on the next SamplePair.
+//
+// Indexes are not safe for concurrent mutation; synchronize externally if
+// estimating while inserting. Estimators constructed before an Insert hold a
+// snapshot of the data slice and must be rebuilt to see new vectors.
+
+// insert appends one pre-hashed vector to the table, maintaining N_H
+// incrementally (adding to a bucket of size b creates b new co-located
+// pairs) and deferring the cumulative-weight rebuild.
+func (t *Table) insert(key string) {
+	t.keys = append(t.keys, key)
+	b, ok := t.buckets[key]
+	if !ok {
+		b = &bucket{key: key}
+		t.buckets[key] = b
+		t.order = append(t.order, b)
+	}
+	t.nh += int64(len(b.ids))
+	b.ids = append(b.ids, int32(t.n))
+	t.n++
+	t.dirty = true
+}
+
+// ensureFrozen rebuilds the sampling prefix sums if inserts invalidated them.
+func (t *Table) ensureFrozen() {
+	if t.dirty {
+		t.freeze()
+		t.dirty = false
+	}
+}
+
+// Insert hashes v into every table and appends it to the indexed collection,
+// returning its id. Cost: ℓ·k hash evaluations plus O(1) bucket updates; the
+// next SamplePair on each table pays one O(#buckets) prefix-sum rebuild.
+func (x *Index) Insert(v vecmath.Vector) int {
+	id := len(x.data)
+	x.data = append(x.data, v)
+	vals := make([]uint64, x.k)
+	for t := 0; t < x.ell; t++ {
+		base := t * x.k
+		for j := 0; j < x.k; j++ {
+			vals[j] = x.family.Hash(base+j, v)
+		}
+		x.tables[t].insert(packKey(vals, x.family.Bits()))
+	}
+	return id
+}
+
+// InsertBatch inserts vectors in order and returns the id of the first.
+func (x *Index) InsertBatch(vs []vecmath.Vector) int {
+	first := len(x.data)
+	for _, v := range vs {
+		x.Insert(v)
+	}
+	return first
+}

@@ -1,0 +1,125 @@
+package lsh
+
+import (
+	"testing"
+
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// TestInsertEquivalentToRebuild: building incrementally must produce exactly
+// the same buckets, keys and N_H as building from scratch (hashing is a pure
+// function of the vector).
+func TestInsertEquivalentToRebuild(t *testing.T) {
+	data := randData(300, 60, 8, 71)
+	full, err := Build(data, NewSimHash(72), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Build(data[:150], NewSimHash(72), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := half.InsertBatch(data[150:]); first != 150 {
+		t.Fatalf("first inserted id = %d, want 150", first)
+	}
+	if half.N() != full.N() {
+		t.Fatalf("sizes differ: %d vs %d", half.N(), full.N())
+	}
+	for ti := 0; ti < full.L(); ti++ {
+		ft, ht := full.Table(ti), half.Table(ti)
+		if ft.NH() != ht.NH() {
+			t.Errorf("table %d: NH %d vs %d", ti, ht.NH(), ft.NH())
+		}
+		if ft.NumBuckets() != ht.NumBuckets() {
+			t.Errorf("table %d: buckets %d vs %d", ti, ht.NumBuckets(), ft.NumBuckets())
+		}
+		for i := 0; i < full.N(); i++ {
+			if ft.KeyOf(i) != ht.KeyOf(i) {
+				t.Fatalf("table %d vector %d: key mismatch", ti, i)
+			}
+		}
+	}
+}
+
+// TestInsertMaintainsNHIncrementally: N_H after each insert equals the
+// enumeration count, and lazily rebuilt sampling still works.
+func TestInsertMaintainsNH(t *testing.T) {
+	data := randData(80, 30, 6, 73)
+	idx, err := Build(data[:40], NewSimHash(74), 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := idx.Table(0)
+	for _, v := range data[40:] {
+		idx.Insert(v)
+		var count int64
+		tab.ForEachIntraPair(func(i, j int32) bool { count++; return true })
+		if count != tab.NH() {
+			t.Fatalf("after insert: NH=%d but enumeration finds %d", tab.NH(), count)
+		}
+	}
+	if tab.NH() == 0 {
+		t.Skip("degenerate bucket structure")
+	}
+	rng := xrand.New(75)
+	for s := 0; s < 2000; s++ {
+		i, j, ok := tab.SamplePair(rng)
+		if !ok {
+			t.Fatal("sampling failed after inserts")
+		}
+		if !tab.SameBucket(i, j) {
+			t.Fatal("sampled pair not co-bucketed after inserts")
+		}
+	}
+}
+
+// TestInsertDuplicateAlwaysCoBucketed: inserting a copy of an indexed vector
+// must land in the same bucket in every table and raise N_H.
+func TestInsertDuplicateAlwaysCoBucketed(t *testing.T) {
+	data := randData(50, 40, 6, 77)
+	idx, err := Build(data, NewSimHash(78), 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.Table(0).NH()
+	id := idx.Insert(data[7])
+	for ti := 0; ti < idx.L(); ti++ {
+		if !idx.Table(ti).SameBucket(7, id) {
+			t.Errorf("table %d: duplicate not co-bucketed", ti)
+		}
+	}
+	if idx.Table(0).NH() <= before {
+		t.Errorf("NH did not grow: %d → %d", before, idx.Table(0).NH())
+	}
+}
+
+// TestInsertVisibleToQueries: new vectors are retrievable via Query/Search.
+func TestInsertVisibleToQueries(t *testing.T) {
+	data := randData(60, 40, 6, 79)
+	idx, err := Build(data, NewSimHash(80), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vecmath.FromDims([]uint32{1000, 1001, 1002})
+	id := idx.Insert(v)
+	found := false
+	for _, got := range idx.Query(v) {
+		if int(got) == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inserted vector not retrievable by Query")
+	}
+	hits := idx.Search(v, 0.999)
+	found = false
+	for _, got := range hits {
+		if int(got) == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inserted vector not found by Search at τ≈1")
+	}
+}

@@ -1,0 +1,245 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+func vec(t *testing.T, entries ...vecmath.Entry) vecmath.Vector {
+	t.Helper()
+	v, err := vecmath.New(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func randVec(rng *xrand.RNG, dims, nnz int) vecmath.Vector {
+	es := make([]vecmath.Entry, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		es = append(es, vecmath.Entry{Dim: uint32(rng.Intn(dims)), Weight: float32(rng.Norm())})
+	}
+	v, err := vecmath.New(es)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestSimHashDeterministic(t *testing.T) {
+	f := NewSimHash(42)
+	v := vec(t, vecmath.Entry{Dim: 1, Weight: 1}, vecmath.Entry{Dim: 7, Weight: -2})
+	for fn := 0; fn < 50; fn++ {
+		if f.Hash(fn, v) != f.Hash(fn, v) {
+			t.Fatalf("fn %d: non-deterministic hash", fn)
+		}
+		if h := f.Hash(fn, v); h != 0 && h != 1 {
+			t.Fatalf("fn %d: hash %d not a bit", fn, h)
+		}
+	}
+}
+
+func TestSimHashSeedMatters(t *testing.T) {
+	a, b := NewSimHash(1), NewSimHash(2)
+	v := vec(t, vecmath.Entry{Dim: 3, Weight: 1.5})
+	diff := 0
+	for fn := 0; fn < 256; fn++ {
+		if a.Hash(fn, v) != b.Hash(fn, v) {
+			diff++
+		}
+	}
+	if diff < 64 {
+		t.Fatalf("seeds 1 and 2 differ on only %d/256 functions", diff)
+	}
+}
+
+func TestSimHashScaleInvariant(t *testing.T) {
+	f := NewSimHash(7)
+	rng := xrand.New(1)
+	for trial := 0; trial < 50; trial++ {
+		v := randVec(rng, 100, 10)
+		s := v.Scale(3.7)
+		for fn := 0; fn < 20; fn++ {
+			if f.Hash(fn, v) != f.Hash(fn, s) {
+				t.Fatalf("trial %d fn %d: positive scaling changed sign bit", trial, fn)
+			}
+		}
+	}
+}
+
+func TestSimHashNegationFlips(t *testing.T) {
+	f := NewSimHash(7)
+	rng := xrand.New(2)
+	flips := 0
+	const trials, fns = 20, 20
+	for trial := 0; trial < trials; trial++ {
+		v := randVec(rng, 100, 10)
+		neg := v.Scale(-1)
+		for fn := 0; fn < fns; fn++ {
+			if f.Hash(fn, v) != f.Hash(fn, neg) {
+				flips++
+			}
+		}
+	}
+	// P(a·v = 0 exactly) is 0, so negation should flip essentially always.
+	if flips < trials*fns-2 {
+		t.Fatalf("negation flipped only %d/%d sign bits", flips, trials*fns)
+	}
+}
+
+// TestSimHashCollisionMatchesTheory is the core statistical contract: the
+// empirical collision rate over many hash functions must match
+// p(s) = 1 − arccos(s)/π.
+func TestSimHashCollisionMatchesTheory(t *testing.T) {
+	f := NewSimHash(99)
+	rng := xrand.New(3)
+	// Build a pair with a controlled cosine: u = e0, v = cosθ·e0 + sinθ·e1
+	// in a 2-dimensional subspace of a sparse space.
+	for _, target := range []float64{0.0, 0.3, 0.6, 0.9} {
+		theta := math.Acos(target)
+		u := vec(t, vecmath.Entry{Dim: 10, Weight: 1})
+		v := vec(t,
+			vecmath.Entry{Dim: 10, Weight: float32(math.Cos(theta))},
+			vecmath.Entry{Dim: 20, Weight: float32(math.Sin(theta))},
+		)
+		if got := vecmath.Cosine(u, v); math.Abs(got-target) > 1e-6 {
+			t.Fatalf("setup: cosine %v, want %v", got, target)
+		}
+		const fns = 20000
+		coll := 0
+		for fn := 0; fn < fns; fn++ {
+			if f.Hash(fn, u) == f.Hash(fn, v) {
+				coll++
+			}
+		}
+		want := f.CollisionProb(target)
+		got := float64(coll) / fns
+		se := math.Sqrt(want * (1 - want) / fns)
+		if math.Abs(got-want) > 5*se+1e-3 {
+			t.Errorf("sim %.1f: collision rate %.4f, theory %.4f", target, got, want)
+		}
+		_ = rng
+	}
+}
+
+func TestSimHashCollisionProbCurve(t *testing.T) {
+	f := NewSimHash(0)
+	cases := []struct{ s, p float64 }{
+		{1, 1},
+		{-1, 0},
+		{0, 0.5},
+		{0.5, 1 - math.Acos(0.5)/math.Pi},
+	}
+	for _, c := range cases {
+		if got := f.CollisionProb(c.s); math.Abs(got-c.p) > 1e-12 {
+			t.Errorf("CollisionProb(%v) = %v, want %v", c.s, got, c.p)
+		}
+	}
+	// Clamping out-of-range input.
+	if f.CollisionProb(1.5) != 1 || f.CollisionProb(-1.5) != 0 {
+		t.Error("CollisionProb should clamp to [-1,1]")
+	}
+}
+
+func TestSimHashInverseCollisionProb(t *testing.T) {
+	f := NewSimHash(0)
+	quickCheck := func(s float64) bool {
+		if s < -1 || s > 1 || math.IsNaN(s) {
+			return true
+		}
+		p := f.CollisionProb(s)
+		return math.Abs(f.SimFromCollisionProb(p)-s) < 1e-9
+	}
+	if err := quick.Check(quickCheck, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimHashCollisionProbMonotone(t *testing.T) {
+	f := NewSimHash(0)
+	prev := -1.0
+	for s := -1.0; s <= 1.0; s += 0.01 {
+		p := f.CollisionProb(s)
+		if p < prev {
+			t.Fatalf("CollisionProb not monotone at s=%v", s)
+		}
+		prev = p
+	}
+}
+
+func TestMinHashDeterministicAndSeedSensitive(t *testing.T) {
+	a, b := NewMinHash(5), NewMinHash(6)
+	v := vecmath.FromDims([]uint32{1, 2, 3, 4, 5})
+	if a.Hash(0, v) != a.Hash(0, v) {
+		t.Fatal("MinHash not deterministic")
+	}
+	diff := 0
+	for fn := 0; fn < 64; fn++ {
+		if a.Hash(fn, v) != b.Hash(fn, v) {
+			diff++
+		}
+	}
+	if diff < 32 {
+		t.Fatalf("different seeds agree on %d/64 functions", 64-diff)
+	}
+}
+
+func TestMinHashCollisionMatchesJaccard(t *testing.T) {
+	f := NewMinHash(11)
+	// |A∩B| = 2, |A∪B| = 6 → J = 1/3.
+	a := vecmath.FromDims([]uint32{1, 2, 3, 4})
+	b := vecmath.FromDims([]uint32{3, 4, 5, 6})
+	want := vecmath.Jaccard(a, b)
+	const fns = 30000
+	coll := 0
+	for fn := 0; fn < fns; fn++ {
+		if f.Hash(fn, a) == f.Hash(fn, b) {
+			coll++
+		}
+	}
+	got := float64(coll) / fns
+	se := math.Sqrt(want * (1 - want) / fns)
+	if math.Abs(got-want) > 5*se+1e-3 {
+		t.Errorf("collision rate %.4f, Jaccard %.4f", got, want)
+	}
+}
+
+func TestMinHashEmptyVector(t *testing.T) {
+	f := NewMinHash(1)
+	var zero vecmath.Vector
+	if f.Hash(0, zero) != f.Hash(0, zero) {
+		t.Error("empty-vector hash not stable")
+	}
+}
+
+func TestMinHashIdenticalSetsAlwaysCollide(t *testing.T) {
+	f := NewMinHash(3)
+	a := vecmath.FromDims([]uint32{9, 17, 200})
+	// Same support, different weights: MinHash only sees the support.
+	b, err := vecmath.New([]vecmath.Entry{{Dim: 9, Weight: 5}, {Dim: 17, Weight: 0.1}, {Dim: 200, Weight: -3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fn := 0; fn < 100; fn++ {
+		if f.Hash(fn, a) != f.Hash(fn, b) {
+			t.Fatalf("fn %d: same support hashed differently", fn)
+		}
+	}
+}
+
+func TestFamilyBitsWidth(t *testing.T) {
+	if NewSimHash(0).Bits() != 1 {
+		t.Error("SimHash should emit 1 bit")
+	}
+	if NewMinHash(0).Bits() != 32 {
+		t.Error("MinHash should emit 32 bits")
+	}
+	v := vecmath.FromDims([]uint32{1, 2, 3})
+	if h := NewMinHash(0).Hash(0, v); h >= 1<<32 {
+		t.Errorf("MinHash value %d exceeds 32 bits", h)
+	}
+}

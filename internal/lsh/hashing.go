@@ -1,0 +1,14 @@
+package lsh
+
+import "lshjoin/internal/xrand"
+
+// gaussComponent returns the dim-th gaussian component of the fn-th random
+// hyperplane for the given family seed. Deterministic and storage-free.
+func gaussComponent(seed, fn, dim uint64) float64 {
+	return xrand.KeyedGaussian(seed, fn, dim)
+}
+
+// hash64 returns a 64-bit keyed hash of (seed, fn, elem).
+func hash64(seed, fn, elem uint64) uint64 {
+	return xrand.KeyedHash(seed, fn, elem)
+}

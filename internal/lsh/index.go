@@ -1,0 +1,178 @@
+package lsh
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lshjoin/internal/vecmath"
+)
+
+// Index is an LSH index I_G = {D_g1, ..., D_gℓ}: ℓ tables, each keyed by the
+// concatenation of k hash functions from a Family. Table t uses hash
+// functions [t·k, (t+1)·k), so tables are mutually independent.
+//
+// The index keeps a reference to the vector collection it was built over;
+// estimators address vectors by their position in that slice.
+type Index struct {
+	family Family
+	k, ell int
+	data   []vecmath.Vector
+	tables []*Table
+}
+
+// Build hashes every vector of data into ℓ tables of k concatenated hash
+// functions each. Signature computation is parallelized across vectors;
+// the result is deterministic for a given family seed.
+func Build(data []vecmath.Vector, family Family, k, ell int) (*Index, error) {
+	if err := validateParams(family, k, ell); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("lsh: empty vector collection")
+	}
+	idx := &Index{family: family, k: k, ell: ell, data: data}
+
+	// Compute all ℓ·k hash values per vector in parallel, then assemble
+	// tables serially (cheap) to keep bucket insertion order deterministic.
+	keys := make([][]string, ell)
+	for t := range keys {
+		keys[t] = make([]string, len(data))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(data) {
+		workers = len(data)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(data) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			vals := make([]uint64, k)
+			for i := lo; i < hi; i++ {
+				for t := 0; t < ell; t++ {
+					base := t * k
+					for j := 0; j < k; j++ {
+						vals[j] = family.Hash(base+j, data[i])
+					}
+					keys[t][i] = packKey(vals, family.Bits())
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	idx.tables = make([]*Table, ell)
+	sv := make([]signedVectors, len(data))
+	for t := 0; t < ell; t++ {
+		for i := range data {
+			sv[i] = signedVectors{key: keys[t][i]}
+		}
+		idx.tables[t] = newTable(sv, k, t*k)
+	}
+	return idx, nil
+}
+
+// Family returns the hash family the index was built with.
+func (x *Index) Family() Family { return x.family }
+
+// K returns the number of hash functions per table.
+func (x *Index) K() int { return x.k }
+
+// L returns the number of tables ℓ.
+func (x *Index) L() int { return x.ell }
+
+// N returns the number of indexed vectors.
+func (x *Index) N() int { return len(x.data) }
+
+// Data returns the indexed vector collection. Callers must not modify it.
+func (x *Index) Data() []vecmath.Vector { return x.data }
+
+// Table returns table t (0-based).
+func (x *Index) Table(t int) *Table { return x.tables[t] }
+
+// Tables returns all ℓ tables.
+func (x *Index) Tables() []*Table { return x.tables }
+
+// KeyFor computes the bucket key of an arbitrary (possibly out-of-index)
+// vector in table t, for use by similarity search and bipartite joins.
+func (x *Index) KeyFor(t int, v vecmath.Vector) string {
+	vals := make([]uint64, x.k)
+	base := t * x.k
+	for j := 0; j < x.k; j++ {
+		vals[j] = x.family.Hash(base+j, v)
+	}
+	return packKey(vals, x.family.Bits())
+}
+
+// SameAnyBucket reports whether vectors i and j share a bucket in at least
+// one of the ℓ tables — the "virtual bucket" membership test of App. B.2.1.
+func (x *Index) SameAnyBucket(i, j int) bool {
+	for _, t := range x.tables {
+		if t.SameBucket(i, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// BucketMultiplicity returns the number of tables in which vectors i and j
+// share a bucket (0..ℓ).
+func (x *Index) BucketMultiplicity(i, j int) int {
+	m := 0
+	for _, t := range x.tables {
+		if t.SameBucket(i, j) {
+			m++
+		}
+	}
+	return m
+}
+
+// Query returns the ids of all vectors sharing a bucket with v in any table,
+// excluding duplicates — the standard LSH candidate-retrieval operation the
+// index exists for. The order is deterministic (first table, bucket order).
+func (x *Index) Query(v vecmath.Vector) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for t := 0; t < x.ell; t++ {
+		key := x.KeyFor(t, v)
+		for _, id := range x.tables[t].BucketIDs(key) {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Search returns the ids of indexed vectors u with sim(u, v) ≥ τ among the
+// LSH candidates of v — approximate similarity search with the usual LSH
+// false-negative caveat.
+func (x *Index) Search(v vecmath.Vector, tau float64) []int32 {
+	var out []int32
+	for _, id := range x.Query(v) {
+		if x.family.Sim(x.data[id], v) >= tau {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SizeBytes estimates the total space of all tables (see Table.SizeBytes).
+func (x *Index) SizeBytes() int64 {
+	var s int64
+	for _, t := range x.tables {
+		s += t.SizeBytes()
+	}
+	return s
+}

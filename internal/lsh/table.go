@@ -1,0 +1,233 @@
+package lsh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"lshjoin/internal/xrand"
+)
+
+// Table is one LSH hash table D_g, where g concatenates k hash functions of
+// a Family. It is the paper's extended LSH table (§4.1.1): buckets carry
+// their member counts, and the table maintains N_H = Σ_j C(b_j, 2) plus a
+// cumulative-weight array so that a uniform random pair from stratum H can
+// be drawn in O(log #buckets).
+//
+// Build tables through Build (single table via BuildTable); a built table is
+// immutable.
+type Table struct {
+	k      int
+	fnBase int // hash function indices used: [fnBase, fnBase+k)
+	n      int
+
+	keys    []string // per-vector bucket key, index = vector id
+	buckets map[string]*bucket
+	order   []*bucket // deterministic (insertion) order for sampling
+	cum     []int64   // cum[i] = Σ_{j ≤ i} C(order[j].size, 2)
+	nh      int64
+	dirty   bool // inserts invalidated cum; rebuilt lazily (see dynamic.go)
+}
+
+type bucket struct {
+	key string
+	ids []int32
+}
+
+// pairs2 returns C(b, 2) without overflow for b up to ~3e9.
+func pairs2(b int64) int64 { return b * (b - 1) / 2 }
+
+// newTable hashes every vector of data with functions [fnBase, fnBase+k) of
+// family and freezes the result.
+func newTable(data []signedVectors, k, fnBase int) *Table {
+	t := &Table{
+		k:       k,
+		fnBase:  fnBase,
+		n:       len(data),
+		keys:    make([]string, len(data)),
+		buckets: make(map[string]*bucket),
+	}
+	for i, sv := range data {
+		key := sv.key
+		t.keys[i] = key
+		b, ok := t.buckets[key]
+		if !ok {
+			b = &bucket{key: key}
+			t.buckets[key] = b
+			t.order = append(t.order, b)
+		}
+		b.ids = append(b.ids, int32(i))
+	}
+	t.freeze()
+	return t
+}
+
+// signedVectors pairs a vector id with its precomputed bucket key for one
+// table. (Signatures are computed in parallel by Build.)
+type signedVectors struct {
+	key string
+}
+
+func (t *Table) freeze() {
+	t.cum = make([]int64, len(t.order))
+	var total int64
+	for i, b := range t.order {
+		total += pairs2(int64(len(b.ids)))
+		t.cum[i] = total
+	}
+	t.nh = total
+}
+
+// N returns the number of indexed vectors.
+func (t *Table) N() int { return t.n }
+
+// K returns the number of hash functions concatenated into g.
+func (t *Table) K() int { return t.k }
+
+// FnBase returns the index of the first hash function used by this table.
+func (t *Table) FnBase() int { return t.fnBase }
+
+// NumBuckets returns the number of non-empty buckets n_g.
+func (t *Table) NumBuckets() int { return len(t.order) }
+
+// M returns the total number of unordered vector pairs C(n, 2).
+func (t *Table) M() int64 { return pairs2(int64(t.n)) }
+
+// NH returns N_H = Σ_j C(b_j, 2), the number of pairs sharing a bucket.
+func (t *Table) NH() int64 { return t.nh }
+
+// NL returns N_L = M − N_H, the number of pairs not sharing a bucket.
+func (t *Table) NL() int64 { return t.M() - t.nh }
+
+// KeyOf returns the bucket key of vector i.
+func (t *Table) KeyOf(i int) string { return t.keys[i] }
+
+// SameBucket reports whether vectors i and j hash to the same bucket,
+// i.e. whether the pair (i, j) belongs to stratum H of this table.
+func (t *Table) SameBucket(i, j int) bool { return t.keys[i] == t.keys[j] }
+
+// BucketIDs returns the member ids of the bucket with the given key (nil if
+// absent). Callers must not modify the returned slice.
+func (t *Table) BucketIDs(key string) []int32 {
+	b, ok := t.buckets[key]
+	if !ok {
+		return nil
+	}
+	return b.ids
+}
+
+// BucketSizes returns the multiset of bucket counts b_j in deterministic
+// order.
+func (t *Table) BucketSizes() []int {
+	out := make([]int, len(t.order))
+	for i, b := range t.order {
+		out[i] = len(b.ids)
+	}
+	return out
+}
+
+// MaxBucket returns the largest bucket count (0 for an empty table).
+func (t *Table) MaxBucket() int {
+	max := 0
+	for _, b := range t.order {
+		if len(b.ids) > max {
+			max = len(b.ids)
+		}
+	}
+	return max
+}
+
+// SamplePair draws a uniform random pair from stratum H: a bucket B_j chosen
+// with weight C(b_j, 2), then a uniform distinct pair inside it. ok is false
+// when the table has no co-located pairs (N_H = 0).
+func (t *Table) SamplePair(rng *xrand.RNG) (i, j int, ok bool) {
+	t.ensureFrozen()
+	if t.nh == 0 {
+		return 0, 0, false
+	}
+	x := int64(rng.Uint64n(uint64(t.nh)))
+	// First bucket whose cumulative weight exceeds x.
+	bi := sort.Search(len(t.cum), func(k int) bool { return t.cum[k] > x })
+	ids := t.order[bi].ids
+	a := rng.Intn(len(ids))
+	b := rng.Intn(len(ids) - 1)
+	if b >= a {
+		b++
+	}
+	return int(ids[a]), int(ids[b]), true
+}
+
+// ForEachIntraPair calls fn for every unordered pair (i, j), i < j, sharing a
+// bucket. It stops early if fn returns false. This exact enumeration costs
+// Θ(N_H) and backs the probability tables of the evaluation (Tables 1–2).
+func (t *Table) ForEachIntraPair(fn func(i, j int32) bool) {
+	for _, b := range t.order {
+		ids := b.ids
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				if !fn(ids[x], ids[y]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ForEachBucket calls fn for every bucket in deterministic order; it stops
+// early if fn returns false.
+func (t *Table) ForEachBucket(fn func(key string, ids []int32) bool) {
+	for _, b := range t.order {
+		if !fn(b.key, b.ids) {
+			return
+		}
+	}
+}
+
+// SizeBytes estimates the space of the extended LSH table using the paper's
+// accounting (§6.3): per bucket, the g value (key) plus a bucket count, plus
+// one 4-byte id per member. Go map/runtime overheads are deliberately
+// excluded to mirror "ignoring implementation-dependent overheads".
+func (t *Table) SizeBytes() int64 {
+	var s int64
+	for _, b := range t.order {
+		s += int64(len(b.key)) + 8 + 4*int64(len(b.ids))
+	}
+	return s
+}
+
+// packKey encodes k hash values, each using `bits` low bits, into a compact
+// string key. When everything fits in 64 bits the key is the 8-byte
+// big-endian packed word; otherwise it is the concatenation of 8-byte words.
+func packKey(vals []uint64, bits int) string {
+	if bits*len(vals) <= 64 {
+		var word uint64
+		for _, v := range vals {
+			word = word<<uint(bits) | v
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], word)
+		return string(buf[:])
+	}
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[8*i:], v)
+	}
+	return string(buf)
+}
+
+// validateParams checks the (k, ℓ) configuration against a family.
+func validateParams(f Family, k, ell int) error {
+	if f == nil {
+		return fmt.Errorf("lsh: nil family")
+	}
+	if k < 1 {
+		return fmt.Errorf("lsh: k must be ≥ 1, got %d", k)
+	}
+	if ell < 1 {
+		return fmt.Errorf("lsh: ℓ must be ≥ 1, got %d", ell)
+	}
+	if f.Bits() < 1 || f.Bits() > 64 {
+		return fmt.Errorf("lsh: family %s has invalid bit width %d", f.Name(), f.Bits())
+	}
+	return nil
+}

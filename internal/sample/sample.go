@@ -1,0 +1,170 @@
+// Package sample provides the sampling primitives shared by the join-size
+// estimators: uniform random pairs, rejection sampling into stratum L,
+// Lipton-style adaptive sampling (the SampleL subroutine of Algorithm 1),
+// alias-method weighted sampling, and without-replacement subset selection.
+package sample
+
+import (
+	"fmt"
+
+	"lshjoin/internal/xrand"
+)
+
+// UniformPair returns a uniform random unordered pair of distinct indices
+// from [0, n). It panics if n < 2.
+func UniformPair(rng *xrand.RNG, n int) (i, j int) {
+	if n < 2 {
+		panic("sample: UniformPair needs n ≥ 2")
+	}
+	i = rng.Intn(n)
+	j = rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// RejectPair returns a uniform random pair of distinct indices from [0, n)
+// subject to accept(i, j) being true, by rejection. maxTries bounds the
+// attempts; ok is false if no acceptable pair was found (e.g. the accepted
+// stratum is empty or nearly so).
+func RejectPair(rng *xrand.RNG, n int, accept func(i, j int) bool, maxTries int) (i, j int, ok bool) {
+	for t := 0; t < maxTries; t++ {
+		i, j = UniformPair(rng, n)
+		if accept(i, j) {
+			return i, j, true
+		}
+	}
+	return 0, 0, false
+}
+
+// AdaptiveResult reports the outcome of an adaptive sampling run.
+type AdaptiveResult struct {
+	Hits     int  // number of samples satisfying the predicate (n_L)
+	Taken    int  // samples actually drawn (i)
+	Reliable bool // true iff the loop ended by reaching the answer-size threshold δ
+}
+
+// Adaptive runs Lipton et al.'s adaptive sampling loop: draw samples until
+// either `hits` reaches delta (a reliable estimate can be scaled up) or
+// maxSamples draws have been taken. draw returns whether the next sample
+// satisfies the predicate, and false ok when the underlying sampler is
+// exhausted (treated as an immediate stop).
+//
+// This is the core of SampleL in Algorithm 1 of the paper; the caller decides
+// how to scale the result (full scale-up, safe lower bound, or a dampened
+// factor).
+func Adaptive(delta, maxSamples int, draw func() (hit, ok bool)) AdaptiveResult {
+	var r AdaptiveResult
+	for r.Hits < delta && r.Taken < maxSamples {
+		hit, ok := draw()
+		if !ok {
+			break
+		}
+		if hit {
+			r.Hits++
+		}
+		r.Taken++
+	}
+	r.Reliable = r.Hits >= delta
+	return r
+}
+
+// WithoutReplacement returns m distinct indices drawn uniformly from [0, n)
+// via a partial Fisher–Yates shuffle in O(m) extra space.
+func WithoutReplacement(rng *xrand.RNG, n, m int) ([]int, error) {
+	if m < 0 || m > n {
+		return nil, fmt.Errorf("sample: need 0 ≤ m ≤ n, got m=%d n=%d", m, n)
+	}
+	// Sparse Fisher–Yates: only touched positions are stored.
+	swapped := make(map[int]int, m)
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		j := i + rng.Intn(n-i)
+		vi, oki := swapped[i]
+		if !oki {
+			vi = i
+		}
+		vj, okj := swapped[j]
+		if !okj {
+			vj = j
+		}
+		out[i] = vj
+		swapped[j] = vi
+	}
+	return out, nil
+}
+
+// Alias is Walker's alias method: O(n) construction, O(1) sampling from an
+// arbitrary discrete distribution. Used where many draws amortize the setup
+// (topic mixtures in the corpus generator, bucket sampling alternatives).
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights. At
+// least one weight must be positive.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sample: empty weight vector")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sample: negative weight %v at %d", w, i)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("sample: all weights zero")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Sample draws one index with probability proportional to its weight.
+func (a *Alias) Sample(rng *xrand.RNG) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }

@@ -1,0 +1,157 @@
+// Package stats implements the summary statistics and relative-error
+// conventions of the paper's evaluation (§6.1): overestimation and
+// underestimation relative errors reported separately, standard deviation
+// of estimates as the reliability measure, and "big error" counting
+// (estimates off by ≥10× in either direction) used in Figures 6 and 8.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (0 for fewer than one element).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median (0 for an empty slice).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// RelErr returns the signed relative error (est − truth)/truth. A truth of 0
+// maps to 0 when est is also 0 and +Inf otherwise.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (est - truth) / truth
+}
+
+// BigError reports whether an estimate is off by at least `factor` in either
+// direction (est/truth ≥ factor or truth/est ≥ factor), the criterion of
+// Figures 6 and 8 with factor = 10. est = 0 with truth > 0 counts as a big
+// underestimation.
+func BigError(est, truth, factor float64) bool {
+	if truth <= 0 {
+		return est > 0 // estimating something where nothing exists
+	}
+	if est <= 0 {
+		return true
+	}
+	return est/truth >= factor || truth/est >= factor
+}
+
+// ErrorSummary aggregates repeated estimates of one quantity the way the
+// paper reports them: overestimation and underestimation errors averaged
+// separately, plus the standard deviation of the raw estimates.
+type ErrorSummary struct {
+	Truth      float64
+	N          int     // number of estimates
+	MeanOver   float64 // average of (est/truth − 1) over estimates > truth (≥ 0)
+	MeanUnder  float64 // average of (est/truth − 1) over estimates < truth (≤ 0)
+	NOver      int     // count of overestimates
+	NUnder     int     // count of underestimates
+	MeanAbsErr float64 // average |est − truth|/truth over all estimates
+	MeanEst    float64
+	Std        float64 // standard deviation of raw estimates (Fig. 2c/3c/9b)
+	BigOver    int     // estimates with est/truth ≥ 10
+	BigUnder   int     // estimates with truth/est ≥ 10 (or est = 0)
+}
+
+// Summarize builds an ErrorSummary from repeated estimates of truth.
+func Summarize(estimates []float64, truth float64) ErrorSummary {
+	s := ErrorSummary{Truth: truth, N: len(estimates)}
+	if len(estimates) == 0 {
+		return s
+	}
+	var overSum, underSum, absSum float64
+	for _, e := range estimates {
+		r := RelErr(e, truth)
+		switch {
+		case r > 0:
+			overSum += r
+			s.NOver++
+		case r < 0:
+			underSum += r
+			s.NUnder++
+		}
+		if !math.IsInf(r, 0) {
+			absSum += math.Abs(r)
+		}
+		if truth > 0 {
+			if e/truth >= 10 {
+				s.BigOver++
+			}
+			if e <= 0 || truth/e >= 10 {
+				s.BigUnder++
+			}
+		}
+	}
+	if s.NOver > 0 {
+		s.MeanOver = overSum / float64(s.NOver)
+	}
+	if s.NUnder > 0 {
+		s.MeanUnder = underSum / float64(s.NUnder)
+	}
+	s.MeanAbsErr = absSum / float64(len(estimates))
+	s.MeanEst = Mean(estimates)
+	s.Std = Std(estimates)
+	return s
+}
+
+// String renders a one-line summary like the rows of the paper's figures.
+func (s ErrorSummary) String() string {
+	return fmt.Sprintf("truth=%.0f n=%d over=%+.1f%%(%d) under=%+.1f%%(%d) std=%.3g",
+		s.Truth, s.N, 100*s.MeanOver, s.NOver, 100*s.MeanUnder, s.NUnder, s.Std)
+}

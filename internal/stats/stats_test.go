@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if s := Std(xs); s != 2 {
+		t.Errorf("Std = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty slices should give 0")
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if m := Median(xs); m != 3 {
+		t.Errorf("Median = %v", m)
+	}
+	ys := []float64{1, 2, 3, 4}
+	if m := Median(ys); m != 2.5 {
+		t.Errorf("even Median = %v", m)
+	}
+	if q := Quantile(ys, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(ys, 1); q != 4 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if r := RelErr(150, 100); r != 0.5 {
+		t.Errorf("RelErr = %v", r)
+	}
+	if r := RelErr(50, 100); r != -0.5 {
+		t.Errorf("RelErr = %v", r)
+	}
+	if r := RelErr(0, 0); r != 0 {
+		t.Errorf("RelErr(0,0) = %v", r)
+	}
+	if r := RelErr(5, 0); !math.IsInf(r, 1) {
+		t.Errorf("RelErr(5,0) = %v", r)
+	}
+}
+
+func TestBigError(t *testing.T) {
+	cases := []struct {
+		est, truth float64
+		want       bool
+	}{
+		{1000, 100, true}, // exactly 10×
+		{999, 100, false}, // just under
+		{10, 100, true},   // 10× under
+		{11, 100, false},  // within
+		{0, 100, true},    // zero estimate is a big underestimate
+		{0, 0, false},     // nothing to estimate
+		{5, 0, true},      // hallucinated mass
+	}
+	for _, c := range cases {
+		if got := BigError(c.est, c.truth, 10); got != c.want {
+			t.Errorf("BigError(%v,%v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// truth 100; estimates: two overs (+50%, +100%), one exact, one under (−40%).
+	s := Summarize([]float64{150, 200, 100, 60}, 100)
+	if s.NOver != 2 || s.NUnder != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if math.Abs(s.MeanOver-0.75) > 1e-12 {
+		t.Errorf("MeanOver = %v, want 0.75", s.MeanOver)
+	}
+	if math.Abs(s.MeanUnder-(-0.4)) > 1e-12 {
+		t.Errorf("MeanUnder = %v, want -0.4", s.MeanUnder)
+	}
+	if math.Abs(s.MeanAbsErr-(0.5+1+0+0.4)/4) > 1e-12 {
+		t.Errorf("MeanAbsErr = %v", s.MeanAbsErr)
+	}
+	if s.BigOver != 0 || s.BigUnder != 0 {
+		t.Errorf("big errors: %+v", s)
+	}
+}
+
+func TestSummarizeBigErrors(t *testing.T) {
+	s := Summarize([]float64{1001, 5, 0, 100}, 100)
+	if s.BigOver != 1 {
+		t.Errorf("BigOver = %d, want 1", s.BigOver)
+	}
+	if s.BigUnder != 2 { // 5 (20× under) and 0
+		t.Errorf("BigUnder = %d, want 2", s.BigUnder)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 10)
+	if s.N != 0 || s.MeanOver != 0 || s.MeanUnder != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return Quantile(xs, 0.25) <= Quantile(xs, 0.5) && Quantile(xs, 0.5) <= Quantile(xs, 0.75)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropVarianceNonNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			if math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		return Variance(raw) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m := Mean(raw)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package vecio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+func randVectors(n int, seed uint64) []vecmath.Vector {
+	rng := xrand.New(seed)
+	out := make([]vecmath.Vector, n)
+	for i := range out {
+		nnz := rng.Intn(20)
+		es := make([]vecmath.Entry, 0, nnz)
+		for j := 0; j < nnz; j++ {
+			es = append(es, vecmath.Entry{
+				Dim:    uint32(rng.Intn(100000)),
+				Weight: float32(rng.Norm()),
+			})
+		}
+		v, err := vecmath.New(es)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := randVectors(200, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !vecmath.Equal(got[i], want[i]) {
+			t.Fatalf("vector %d mismatch:\n got %v\nwant %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripEmptyAndZeroVectors(t *testing.T) {
+	want := []vecmath.Vector{{}, vecmath.FromDims([]uint32{5}), {}}
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !got[0].IsZero() || !got[2].IsZero() || got[1].NNZ() != 1 {
+		t.Fatalf("round trip broke zero vectors: %v", got)
+	}
+}
+
+func TestRoundTripEmptyCollection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d vectors", len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE\x01\x00\x00\x00"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	want := randVectors(10, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{5, 9, 15, len(raw) - 3} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	want := randVectors(50, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a bit in the payload (after the 8-byte header, before checksum).
+	raw[len(raw)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.vsjv")
+	want := randVectors(30, 4)
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !vecmath.Equal(got[i], want[i]) {
+			t.Fatalf("vector %d mismatch", i)
+		}
+	}
+	// Atomic write leaves no temp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.vsjv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genVector is the quick.Generator-compatible construction of a random sparse
+// vector with bounded dims and weights.
+type genVector struct{ V Vector }
+
+func (genVector) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size%32 + 1)
+	es := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		es = append(es, Entry{
+			Dim:    uint32(r.Intn(64)),
+			Weight: float32(r.NormFloat64()),
+		})
+	}
+	v, err := New(es)
+	if err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(genVector{V: v})
+}
+
+func TestPropCosineSymmetric(t *testing.T) {
+	f := func(a, b genVector) bool {
+		return math.Abs(Cosine(a.V, b.V)-Cosine(b.V, a.V)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCosineBounded(t *testing.T) {
+	f := func(a, b genVector) bool {
+		c := Cosine(a.V, b.V)
+		return c >= -1 && c <= 1 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCosineSelfIsOne(t *testing.T) {
+	f := func(a genVector) bool {
+		if a.V.IsZero() {
+			return Cosine(a.V, a.V) == 0
+		}
+		return math.Abs(Cosine(a.V, a.V)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCauchySchwarz(t *testing.T) {
+	f := func(a, b genVector) bool {
+		return math.Abs(Dot(a.V, b.V)) <= a.V.Norm()*b.V.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDotDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c genVector) bool {
+		lhs := Dot(Add(a.V, b.V), c.V)
+		rhs := Dot(a.V, c.V) + Dot(b.V, c.V)
+		return math.Abs(lhs-rhs) < 1e-4*(1+math.Abs(lhs)+math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNormMatchesDot(t *testing.T) {
+	f := func(a genVector) bool {
+		return math.Abs(a.V.Norm()*a.V.Norm()-Dot(a.V, a.V)) < 1e-6*(1+Dot(a.V, a.V))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddCommutes(t *testing.T) {
+	f := func(a, b genVector) bool {
+		return Equal(Add(a.V, b.V), Add(b.V, a.V))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(a, b genVector) bool {
+		return Add(a.V, b.V).Norm() <= a.V.Norm()+b.V.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJaccardBounds(t *testing.T) {
+	f := func(a, b genVector) bool {
+		j := Jaccard(a.V, b.V)
+		return j >= 0 && j <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropScaleInvariantCosine(t *testing.T) {
+	f := func(a, b genVector) bool {
+		if a.V.IsZero() || b.V.IsZero() {
+			return true
+		}
+		c1 := Cosine(a.V, b.V)
+		c2 := Cosine(a.V.Scale(3), b.V.Scale(0.25))
+		return math.Abs(c1-c2) < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package xrand provides the deterministic random number generation used
+// throughout lshjoin: a SplitMix64 stream mixer, an xoshiro256** PRNG,
+// gaussian and Zipf samplers, and stateless keyed gaussian streams that let
+// LSH hash functions materialize random hyperplane components on demand
+// without storing O(d) floats per function.
+//
+// Everything in this package is deterministic given its seed, which makes
+// experiments and tests reproducible bit-for-bit across runs and platforms.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 advances the given state and returns the next value of the
+// SplitMix64 sequence. It is used both as a seeding primitive for RNG and
+// as a stateless mixing function for keyed streams.
+func SplitMix64(state uint64) (next uint64, out uint64) {
+	state += 0x9E3779B97F4A7C15
+	z := state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z = z ^ (z >> 31)
+	return state, z
+}
+
+// Mix64 hashes x through the SplitMix64 finalizer. It is a fast, high-quality
+// 64-bit mixer suitable for deriving independent streams from composed keys.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Mix2 mixes two words into one, for keyed streams indexed by a pair
+// (e.g. hash function index and dimension).
+func Mix2(a, b uint64) uint64 {
+	return Mix64(Mix64(a) ^ (b * 0xD6E8FEB86659FD93))
+}
+
+// Mix3 mixes three words into one.
+func Mix3(a, b, c uint64) uint64 {
+	return Mix64(Mix2(a, b) ^ (c * 0xA0761D6478BD642F))
+}
+
+// RNG is an xoshiro256** pseudo random number generator. The zero value is
+// not usable; construct with New. RNG is not safe for concurrent use; give
+// each goroutine its own instance (use Split).
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG seeded from seed via SplitMix64, per the xoshiro
+// authors' recommendation.
+func New(seed uint64) *RNG {
+	var r RNG
+	st := seed
+	for i := range r.s {
+		st, r.s[i] = SplitMix64(st)
+	}
+	// xoshiro requires a non-zero state; SplitMix64 output of any seed is
+	// astronomically unlikely to be all zero, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return &r
+}
+
+// Split derives an independent generator from r, suitable for handing to
+// another goroutine or subcomponent without correlating streams.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0x8BADF00D5EEDC0DE)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire multiply-shift rejection.
+	thresh := -n % n // (2^64 - n) % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= thresh {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal variate using the Marsaglia polar method.
+func (r *RNG) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes indices [0,n) via swap using Fisher-Yates.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// KeyedUniform returns a uniform float64 in [0,1) determined entirely by the
+// key triple. Calls with the same triple always return the same value.
+func KeyedUniform(seed, fn, dim uint64) float64 {
+	return float64(Mix3(seed, fn, dim)>>11) / (1 << 53)
+}
+
+// KeyedGaussian returns a standard normal variate determined entirely by the
+// key triple (seed, fn, dim). It lets a random-hyperplane hash function over
+// a d-dimensional space avoid storing d gaussians: component a[dim] of
+// hyperplane fn is recomputed on demand. Box-Muller over two keyed uniforms.
+func KeyedGaussian(seed, fn, dim uint64) float64 {
+	h := Mix3(seed, fn, dim)
+	// Derive two independent uniforms from h.
+	u1 := float64(Mix64(h^0x5851F42D4C957F2D)>>11) / (1 << 53)
+	u2 := float64(Mix64(h^0x14057B7EF767814F)>>11) / (1 << 53)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// KeyedHash returns a 64-bit hash determined by the key triple. Used by
+// MinHash to rank universe elements per hash function.
+func KeyedHash(seed, fn, elem uint64) uint64 {
+	return Mix3(seed, fn, elem)
+}

@@ -1,0 +1,58 @@
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the cumulative distribution once and samples
+// by binary search, which is simple, exact, and fast enough for corpus
+// generation (O(log n) per draw). Construct with NewZipf.
+type Zipf struct {
+	cdf []float64
+	n   int
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("xrand: Zipf needs n > 0, got %d", n)
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("xrand: Zipf needs finite s > 0, got %v", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, n: n}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= z.n {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Sample draws one rank using rng.
+func (z *Zipf) Sample(rng *RNG) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

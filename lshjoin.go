@@ -1,0 +1,237 @@
+package lshjoin
+
+import (
+	"fmt"
+
+	"lshjoin/internal/core"
+	"lshjoin/internal/exactjoin"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// Vector is a sparse real-valued vector (sorted non-zero entries).
+type Vector = vecmath.Vector
+
+// Entry is one non-zero coordinate of a Vector.
+type Entry = vecmath.Entry
+
+// NewVector builds a Vector from entries (any order; duplicate dimensions
+// are summed, zeros dropped, non-finite weights rejected).
+func NewVector(entries []Entry) (Vector, error) { return vecmath.New(entries) }
+
+// BinaryVector builds a set-of-words vector: weight 1 on each distinct dim.
+func BinaryVector(dims []uint32) Vector { return vecmath.FromDims(dims) }
+
+// Cosine returns the cosine similarity of two vectors in [-1, 1].
+func Cosine(u, v Vector) float64 { return vecmath.Cosine(u, v) }
+
+// Jaccard returns the Jaccard similarity of the vectors' supports.
+func Jaccard(u, v Vector) float64 { return vecmath.Jaccard(u, v) }
+
+// Measure selects the similarity measure (and with it the LSH family).
+type Measure int
+
+// Supported similarity measures.
+const (
+	// CosineSimilarity uses sign-random-projection LSH (Charikar).
+	CosineSimilarity Measure = iota
+	// JaccardSimilarity uses MinHash over vector supports.
+	JaccardSimilarity
+)
+
+// Options configures a Collection.
+type Options struct {
+	// K is the number of hash functions concatenated per LSH table
+	// (default 20, the paper's setting; PubMed-like dissimilar data prefers
+	// ~5, see App. C.4).
+	K int
+	// Tables is ℓ, the number of LSH tables (default 1; >1 enables the
+	// median and virtual-bucket estimators).
+	Tables int
+	// Seed drives all hashing and sampling (default 1).
+	Seed uint64
+	// Measure selects cosine (default) or Jaccard similarity.
+	Measure Measure
+}
+
+func (o *Options) fillDefaults() {
+	if o.K == 0 {
+		o.K = 20
+	}
+	if o.Tables == 0 {
+		o.Tables = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Collection is an indexed vector collection: the entry point for join size
+// estimation, exact joins, and similarity search.
+type Collection struct {
+	vectors []Vector
+	opt     Options
+	family  lsh.Family
+	sim     core.SimFunc
+	index   *lsh.Index
+	joiner  *exactjoin.Joiner // lazy
+	seedCtr uint64
+}
+
+// New indexes the vectors. The collection keeps a reference to the slice;
+// callers must not mutate it afterwards.
+func New(vectors []Vector, opt Options) (*Collection, error) {
+	opt.fillDefaults()
+	if len(vectors) < 2 {
+		return nil, fmt.Errorf("lshjoin: need at least 2 vectors, got %d", len(vectors))
+	}
+	var family lsh.Family
+	var sim core.SimFunc
+	switch opt.Measure {
+	case CosineSimilarity:
+		family = lsh.NewSimHash(opt.Seed)
+		sim = vecmath.Cosine
+	case JaccardSimilarity:
+		family = lsh.NewMinHash(opt.Seed)
+		sim = vecmath.Jaccard
+	default:
+		return nil, fmt.Errorf("lshjoin: unknown measure %d", opt.Measure)
+	}
+	index, err := lsh.Build(vectors, family, opt.K, opt.Tables)
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: %w", err)
+	}
+	return &Collection{
+		vectors: vectors,
+		opt:     opt,
+		family:  family,
+		sim:     sim,
+		index:   index,
+	}, nil
+}
+
+// N returns the number of vectors.
+func (c *Collection) N() int { return len(c.vectors) }
+
+// Vector returns vector i.
+func (c *Collection) Vector(i int) Vector { return c.vectors[i] }
+
+// K returns the per-table hash function count.
+func (c *Collection) K() int { return c.opt.K }
+
+// Tables returns the number of LSH tables ℓ.
+func (c *Collection) Tables() int { return c.opt.Tables }
+
+// IndexBytes estimates the LSH index size using the paper's §6.3 accounting
+// (g values, bucket counts, vector ids).
+func (c *Collection) IndexBytes() int64 { return c.index.SizeBytes() }
+
+// PairsSharingBucket returns N_H of table 0: the number of vector pairs
+// co-located in some bucket — the quantity the extended LSH index maintains.
+func (c *Collection) PairsSharingBucket() int64 { return c.index.Table(0).NH() }
+
+// EstimateJoinSize estimates |{(u,v): sim(u,v) ≥ tau, u ≠ v}| with LSH-SS
+// under the paper's default parameters (m_H = m_L = n, δ = log₂ n, safe
+// lower bound). Each call draws fresh randomness; use Estimator for
+// reproducible or repeated estimation.
+func (c *Collection) EstimateJoinSize(tau float64) (float64, error) {
+	est, err := c.Estimator(AlgoLSHSS)
+	if err != nil {
+		return 0, err
+	}
+	return est.Estimate(tau)
+}
+
+// Insert adds a vector to the collection and its LSH index (ℓ·k hash
+// evaluations; bucket counts and N_H stay exact), returning the vector's
+// id. Estimators constructed before an Insert hold a snapshot and return an
+// error if used afterwards — construct them anew. The exact joiner is also
+// rebuilt lazily on next use.
+func (c *Collection) Insert(v Vector) int {
+	id := c.index.Insert(v)
+	c.vectors = c.index.Data()
+	c.joiner = nil
+	return id
+}
+
+// EstimateJoinSizeCurve estimates the whole selectivity curve J(τ) for a
+// grid of thresholds from one shared LSH-SS sampling pass — what an
+// optimizer costing a similarity predicate at several candidate thresholds
+// wants. The result aligns with taus and is monotone non-increasing after
+// sorting taus ascending.
+func (c *Collection) EstimateJoinSizeCurve(taus []float64) ([]float64, error) {
+	inner, err := core.NewLSHSS(c.index.Table(0), c.vectors, c.sim)
+	if err != nil {
+		return nil, err
+	}
+	return inner.EstimateCurve(taus, xrand.New(c.nextSeed()))
+}
+
+// ExactJoinSize computes the true join size with the inverted-index exact
+// joiner — O(Σ df²), for ground truth and small-to-medium collections.
+func (c *Collection) ExactJoinSize(tau float64) (int64, error) {
+	if c.opt.Measure != CosineSimilarity {
+		return c.exactBrute(tau)
+	}
+	if c.joiner == nil {
+		c.joiner = exactjoin.NewJoiner(c.vectors)
+	}
+	return c.joiner.CountAt(tau)
+}
+
+func (c *Collection) exactBrute(tau float64) (int64, error) {
+	var count int64
+	for i := range c.vectors {
+		for j := i + 1; j < len(c.vectors); j++ {
+			if c.sim(c.vectors[i], c.vectors[j]) >= tau {
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+// JoinPair is one similarity join result.
+type JoinPair struct {
+	U, V int     // vector indices, U < V
+	Sim  float64 // their similarity
+}
+
+// JoinPairs materializes the exact similarity join at tau (cosine only),
+// using the All-Pairs prefix-filtered joiner.
+func (c *Collection) JoinPairs(tau float64) ([]JoinPair, error) {
+	if c.opt.Measure != CosineSimilarity {
+		return nil, fmt.Errorf("lshjoin: JoinPairs supports cosine similarity only")
+	}
+	if c.joiner == nil {
+		c.joiner = exactjoin.NewJoiner(c.vectors)
+	}
+	raw, err := c.joiner.Pairs(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JoinPair, len(raw))
+	for i, p := range raw {
+		out[i] = JoinPair{U: int(p.U), V: int(p.V), Sim: p.Sim}
+	}
+	return out, nil
+}
+
+// SearchSimilar returns indices of indexed vectors with sim(v, ·) ≥ tau
+// among the LSH candidates of v — approximate search with the usual LSH
+// false-negative caveat.
+func (c *Collection) SearchSimilar(v Vector, tau float64) []int {
+	ids := c.index.Search(v, tau)
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// nextSeed derives a fresh deterministic seed for estimator construction.
+func (c *Collection) nextSeed() uint64 {
+	c.seedCtr++
+	return xrand.Mix2(c.opt.Seed^0xE57AB1E, c.seedCtr)
+}

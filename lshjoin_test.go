@@ -1,0 +1,382 @@
+package lshjoin
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func fixtureVectors(t *testing.T, n int) []Vector {
+	t.Helper()
+	vecs, err := GenerateDataset(DatasetDBLP, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vecs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("empty collection accepted")
+	}
+	vecs := fixtureVectors(t, 10)
+	if _, err := New(vecs, Options{Measure: Measure(9)}); err == nil {
+		t.Error("bogus measure accepted")
+	}
+	c, err := New(vecs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 20 || c.Tables() != 1 || c.N() != 10 {
+		t.Errorf("defaults: k=%d ℓ=%d n=%d", c.K(), c.Tables(), c.N())
+	}
+}
+
+func TestEstimateMatchesExactShape(t *testing.T) {
+	vecs := fixtureVectors(t, 2000)
+	c, err := New(vecs, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactLow, err := c.ExactJoinSize(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactHigh, err := c.ExactJoinSize(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactLow <= exactHigh {
+		t.Fatalf("dataset lost its skew: J(0.1)=%d J(0.9)=%d", exactLow, exactHigh)
+	}
+	// Average several LSH-SS estimates at a low threshold (reliable regime).
+	est, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const reps = 30
+	for i := 0; i < reps; i++ {
+		v, err := est.Estimate(0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	mean := sum / reps
+	if math.Abs(mean-float64(exactLow)) > 0.5*float64(exactLow) {
+		t.Errorf("LSH-SS mean %v vs exact %d at τ=0.1", mean, exactLow)
+	}
+}
+
+func TestEstimateJoinSizeConvenience(t *testing.T) {
+	c, err := New(fixtureVectors(t, 500), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.EstimateJoinSize(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 {
+		t.Errorf("negative estimate %v", v)
+	}
+	if _, err := c.EstimateJoinSize(0); err == nil {
+		t.Error("tau=0 accepted")
+	}
+}
+
+func TestAllAlgorithmsConstructAndRun(t *testing.T) {
+	vecs := fixtureVectors(t, 600)
+	c, err := New(vecs, Options{Tables: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range Algorithms() {
+		est, err := c.Estimator(algo, WithEstimatorSeed(11))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		v, err := est.Estimate(0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if v < 0 || math.IsNaN(v) {
+			t.Errorf("%s: bad estimate %v", algo, v)
+		}
+		if est.Name() == "" {
+			t.Errorf("%s: empty name", algo)
+		}
+	}
+	if _, err := c.Estimator("nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestMultiTableAlgorithmsRequireTables(t *testing.T) {
+	c, err := New(fixtureVectors(t, 100), Options{}) // ℓ = 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Estimator(AlgoMedian); err == nil {
+		t.Error("median with ℓ=1 accepted")
+	}
+	if _, err := c.Estimator(AlgoVirtual); err == nil {
+		t.Error("virtual with ℓ=1 accepted")
+	}
+}
+
+func TestEstimatorReproducibleWithSeed(t *testing.T) {
+	c, err := New(fixtureVectors(t, 400), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := a.Estimate(0.5)
+	y, _ := b.Estimate(0.5)
+	if x != y {
+		t.Errorf("same seed gave %v and %v", x, y)
+	}
+}
+
+func TestJoinPairsAgainstExactCount(t *testing.T) {
+	vecs := fixtureVectors(t, 800)
+	c, err := New(vecs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := c.JoinPairs(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := c.ExactJoinSize(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(pairs)) != count {
+		t.Errorf("JoinPairs found %d, ExactJoinSize %d", len(pairs), count)
+	}
+	for _, p := range pairs {
+		if p.U >= p.V {
+			t.Fatalf("pair not ordered: %+v", p)
+		}
+		if s := Cosine(vecs[p.U], vecs[p.V]); s < 0.8 {
+			t.Fatalf("pair %+v has sim %v", p, s)
+		}
+	}
+}
+
+func TestSearchSimilarFindsSelf(t *testing.T) {
+	vecs := fixtureVectors(t, 300)
+	c, err := New(vecs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.SearchSimilar(vecs[0], 0.999)
+	found := false
+	for _, id := range got {
+		if id == 0 {
+			found = true
+		}
+		if s := Cosine(vecs[0], c.Vector(id)); s < 0.999 {
+			t.Errorf("result %d has sim %v", id, s)
+		}
+	}
+	if !found {
+		t.Error("query vector not found among its own candidates")
+	}
+}
+
+func TestJaccardMeasureEndToEnd(t *testing.T) {
+	vecs := fixtureVectors(t, 500)
+	c, err := New(vecs, Options{Measure: JaccardSimilarity, K: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := c.ExactJoinSize(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(6), WithSampleBudget(500, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const reps = 30
+	for i := 0; i < reps; i++ {
+		v, err := est.Estimate(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	mean := sum / reps
+	if exact > 20 && math.Abs(mean-float64(exact)) > 0.6*float64(exact) {
+		t.Errorf("Jaccard mean %v vs exact %d", mean, exact)
+	}
+	if _, err := c.JoinPairs(0.5); err == nil {
+		t.Error("JoinPairs should reject non-cosine measures")
+	}
+}
+
+func TestVectorConstructors(t *testing.T) {
+	v, err := NewVector([]Entry{{Dim: 3, Weight: 2}, {Dim: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 2 {
+		t.Errorf("NNZ = %d", v.NNZ())
+	}
+	b := BinaryVector([]uint32{5, 5, 9})
+	if b.NNZ() != 2 || b.Weight(5) != 1 {
+		t.Errorf("binary vector: %v", b)
+	}
+	if Cosine(v, v) != 1 {
+		t.Error("self cosine != 1")
+	}
+	if Jaccard(b, b) != 1 {
+		t.Error("self jaccard != 1")
+	}
+}
+
+func TestSaveLoadVectors(t *testing.T) {
+	vecs := fixtureVectors(t, 50)
+	path := filepath.Join(t.TempDir(), "v.vsjv")
+	if err := SaveVectors(path, vecs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadVectors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vecs) {
+		t.Fatalf("loaded %d of %d", len(got), len(vecs))
+	}
+	for i := range vecs {
+		if Cosine(got[i], vecs[i]) != 1 && !(got[i].IsZero() && vecs[i].IsZero()) {
+			t.Fatalf("vector %d corrupted", i)
+		}
+	}
+}
+
+func TestRecommendedK(t *testing.T) {
+	for kind, want := range map[DatasetKind]int{DatasetDBLP: 20, DatasetNYT: 20, DatasetPubMed: 5} {
+		got, err := RecommendedK(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: k = %d, want %d", kind, got, want)
+		}
+	}
+	if _, err := RecommendedK("bogus"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCrossJoinEndToEnd(t *testing.T) {
+	left := fixtureVectors(t, 400)
+	right, err := GenerateDataset(DatasetDBLP, 300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant common vectors so the high-τ cross join is non-empty.
+	copy(right[:20], left[:20])
+	cj, err := NewCrossJoin(left, right, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := cj.ExactJoinSize(0.95)
+	if exact < 10 {
+		t.Fatalf("planting failed: exact = %d", exact)
+	}
+	var sum float64
+	const reps = 30
+	for i := 0; i < reps; i++ {
+		v, err := cj.EstimateJoinSize(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	mean := sum / reps
+	if mean < 0.1*float64(exact) || mean > 20*float64(exact) {
+		t.Errorf("cross-join mean %v vs exact %d", mean, exact)
+	}
+	if cj.PairsSharingBucket() < int64(0) {
+		t.Error("negative NH")
+	}
+	if _, err := NewCrossJoin(nil, right, Options{}); err == nil {
+		t.Error("empty side accepted")
+	}
+}
+
+func TestInsertUpdatesCollection(t *testing.T) {
+	vecs := fixtureVectors(t, 300)
+	c, err := New(vecs[:299], Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale estimator: created before the insert, must refuse afterwards.
+	stale, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.ExactJoinSize(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a duplicate of vector 0: exactly one new pair at sim 1.
+	id := c.Insert(c.Vector(0))
+	if id != 299 {
+		t.Fatalf("insert id = %d, want 299", id)
+	}
+	if c.N() != 300 {
+		t.Fatalf("N = %d", c.N())
+	}
+	after, err := c.ExactJoinSize(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < before+1 {
+		t.Errorf("duplicate insert did not raise J(1.0): %d → %d", before, after)
+	}
+	if _, err := stale.Estimate(0.9); err == nil {
+		t.Error("stale estimator should refuse after Insert")
+	}
+	fresh, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Estimate(0.9); err != nil {
+		t.Errorf("fresh estimator failed: %v", err)
+	}
+}
+
+func TestEstimateJoinSizeCurvePublic(t *testing.T) {
+	c, err := New(fixtureVectors(t, 800), Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := []float64{0.2, 0.5, 0.8}
+	curve, err := c.EstimateJoinSizeCurve(taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[0] < curve[1] || curve[1] < curve[2] {
+		t.Errorf("curve not monotone: %v", curve)
+	}
+	if _, err := c.EstimateJoinSizeCurve(nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
