@@ -21,16 +21,25 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id: "+strings.Join(experiments.IDs(), " | "))
-		all    = flag.Bool("all", false, "run the full suite")
-		dblp   = flag.Int("dblp", 0, "DBLP-like collection size (default 20000)")
-		nyt    = flag.Int("nyt", 0, "NYT-like collection size (default 5000)")
-		pubmed = flag.Int("pubmed", 0, "PUBMED-like collection size (default 8000)")
-		reps   = flag.Int("reps", 0, "estimates per cell (default 50; paper uses 100)")
-		seed   = flag.Uint64("seed", 0, "suite seed (default 42)")
-		out    = flag.String("out", "", "write markdown to file instead of stdout")
+		exp     = flag.String("exp", "", "experiment id: "+strings.Join(experiments.IDs(), " | "))
+		all     = flag.Bool("all", false, "run the full suite")
+		dblp    = flag.Int("dblp", 0, "DBLP-like collection size (default 20000)")
+		nyt     = flag.Int("nyt", 0, "NYT-like collection size (default 5000)")
+		pubmed  = flag.Int("pubmed", 0, "PUBMED-like collection size (default 8000)")
+		reps    = flag.Int("reps", 0, "estimates per cell (default 50; paper uses 100)")
+		seed    = flag.Uint64("seed", 0, "suite seed (default 42)")
+		out     = flag.String("out", "", "write markdown to file instead of stdout")
+		perf    = flag.Bool("perf", false, "time the LSH hot paths and emit JSON instead of running experiments")
+		perfout = flag.String("perfout", "BENCH_lsh.json", "output path for -perf (\"-\" for stdout)")
 	)
 	flag.Parse()
+	if *perf {
+		if err := runPerf(*perfout); err != nil {
+			fmt.Fprintln(os.Stderr, "vsjbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *all, *dblp, *nyt, *pubmed, *reps, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "vsjbench:", err)
 		os.Exit(1)

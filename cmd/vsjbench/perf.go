@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"lshjoin/internal/core"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// Perf trajectory tooling: `vsjbench -perf` times the hot paths of the LSH
+// layer (index build, per-vector signing, LSH-SS estimation, candidate
+// retrieval) with testing.Benchmark and writes the results as JSON. The file
+// is committed as BENCH_lsh.json at the repo root so future changes can be
+// diffed against the recorded baseline.
+
+type perfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type perfReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Corpus     string       `json:"corpus"`
+	Results    []perfResult `json:"results"`
+}
+
+// perfData mirrors the DBLP-shaped corpus of the lsh package benchmarks.
+func perfData(n, dims, nnz int, seed uint64) []vecmath.Vector {
+	rng := xrand.New(seed)
+	data := make([]vecmath.Vector, n)
+	for i := range data {
+		ds := make([]uint32, nnz)
+		for j := range ds {
+			ds[j] = uint32(rng.Intn(dims))
+		}
+		data[i] = vecmath.FromDims(ds)
+	}
+	return data
+}
+
+func runPerf(outPath string) error {
+	const (
+		n    = 5000
+		dims = 56000
+		nnz  = 14
+		k    = 20
+	)
+	data := perfData(n, dims, nnz, 1)
+	idx, err := lsh.Build(data, lsh.NewSimHash(3), 8, 4)
+	if err != nil {
+		return err
+	}
+	tab1, err := lsh.Build(data, lsh.NewSimHash(5), k, 1)
+	if err != nil {
+		return err
+	}
+	est, err := core.NewLSHSS(tab1.Table(0), data, nil)
+	if err != nil {
+		return err
+	}
+
+	report := perfReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Corpus:     fmt.Sprintf("uniform n=%d dims=%d nnz=%d", n, dims, nnz),
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Results = append(report.Results, perfResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	add("build_k20_l1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lsh.Build(data, lsh.NewSimHash(uint64(i+1)), k, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("signature_simhash_k20_naive", func(b *testing.B) {
+		f := lsh.NewSimHash(7)
+		for i := 0; i < b.N; i++ {
+			for fn := 0; fn < k; fn++ {
+				_ = f.Hash(fn, data[0])
+			}
+		}
+	})
+	add("estimate_lshss_tau08", func(b *testing.B) {
+		rng := xrand.New(11)
+		for i := 0; i < b.N; i++ {
+			if _, err := est.Estimate(0.8, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("query_k8_l4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = idx.Query(data[i%len(data)])
+		}
+	})
+	add("insert_batch_1000_k20", func(b *testing.B) {
+		tail := perfData(1000, dims, nnz, 2)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ix, err := lsh.Build(data, lsh.NewSimHash(uint64(i+1)), k, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			ix.InsertBatch(tail)
+		}
+	})
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}

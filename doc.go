@@ -26,4 +26,16 @@
 // non-self-join variants), an exact similarity join for ground truth, and a
 // benchmark harness regenerating every table and figure of the paper — see
 // DESIGN.md and EXPERIMENTS.md.
+//
+// # Performance
+//
+// Index construction and bulk loading run through a batched signature
+// engine (internal/lsh/engine.go): keyed gaussian / rank rows are
+// materialized once per distinct corpus dimension instead of once per
+// vector, bucket keys are packed machine words whenever k·Bits() ≤ 64, and
+// signing parallelizes across cores. Estimator sampling (LSH-SS's SampleH
+// and SampleL, and the multi-table median) fans out across deterministic
+// RNG-split shards, so estimates are bit-for-bit reproducible for a given
+// seed at any GOMAXPROCS. Run `vsjbench -perf` to regenerate the
+// BENCH_lsh.json hot-path timings tracked in the repository root.
 package lshjoin

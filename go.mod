@@ -1,0 +1,3 @@
+module lshjoin
+
+go 1.24

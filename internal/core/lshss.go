@@ -160,41 +160,87 @@ func (e *LSHSS) EstimateDetailed(tau float64, rng *xrand.RNG) (Detail, error) {
 }
 
 // sampleH is procedure SampleH: m_H uniform pairs from stratum H, scaled by
-// N_H/m_H.
+// N_H/m_H. The m_H draws are independent, so they fan out across
+// deterministic shards (see parallel.go), each on its own split RNG stream;
+// summing per-shard hit counts in shard order reproduces the same estimate
+// for any GOMAXPROCS.
 func (e *LSHSS) sampleH(tau float64, rng *xrand.RNG) Detail {
 	var d Detail
 	nh := e.table.NH()
 	if nh == 0 {
 		return d // empty stratum contributes nothing
 	}
-	for s := 0; s < e.mH; s++ {
-		i, j, ok := e.table.SamplePair(rng)
-		if !ok {
-			break
+	e.table.Freeze() // concurrent SamplePair must not race the lazy rebuild
+	shards := sampleShards(e.mH)
+	rngs := rng.SplitN(shards)
+	hits := make([]int, shards)
+	runShards(shards, func(s int) {
+		r := rngs[s]
+		q := shardQuota(e.mH, shards, s)
+		h := 0
+		for x := 0; x < q; x++ {
+			i, j, ok := e.table.SamplePair(r)
+			if !ok {
+				break
+			}
+			if e.sim(e.data[i], e.data[j]) >= tau {
+				h++
+			}
 		}
-		if e.sim(e.data[i], e.data[j]) >= tau {
-			d.HitsH++
-		}
+		hits[s] = h
+	})
+	for _, h := range hits {
+		d.HitsH += h
 	}
 	d.JH = float64(d.HitsH) * float64(nh) / float64(e.mH)
 	return d
 }
 
+// lShard records one shard's slice of the adaptive sampling stream: which of
+// its draws hit, how many draws it made, and whether its rejection sampler
+// gave up early.
+type lShard struct {
+	hitPos    []int32 // 0-based draw positions within the shard that hit
+	taken     int
+	exhausted bool
+}
+
 // sampleL is procedure SampleL: adaptive sampling over stratum L with the
 // safe lower bound (or dampened scale-up) on budget exhaustion.
+//
+// Parallel form: the m_L-draw budget is split across deterministic shards,
+// each drawing on its own split stream and recording per-draw outcomes. The
+// merge then replays Lipton's adaptive loop over the concatenated shard
+// streams in shard order, stopping at δ hits or m_L draws exactly as the
+// sequential loop would. A shard may stop early once its own hits reach δ:
+// earlier shards can only add hits, so the merged walk is guaranteed to
+// terminate at or before that point and never consults the unrecorded tail.
 func (e *LSHSS) sampleL(tau float64, rng *xrand.RNG, d *Detail) {
 	nl := e.table.NL()
 	if nl == 0 {
 		return
 	}
 	notSame := func(i, j int) bool { return !e.table.SameBucket(i, j) }
-	res := sample.Adaptive(e.delta, e.mL, func() (bool, bool) {
-		i, j, ok := sample.RejectPair(rng, len(e.data), notSame, e.maxReject)
-		if !ok {
-			return false, false
+	shards := sampleShards(e.mL)
+	rngs := rng.SplitN(shards)
+	outs := make([]lShard, shards)
+	runShards(shards, func(s int) {
+		r := rngs[s]
+		q := shardQuota(e.mL, shards, s)
+		o := &outs[s]
+		for x := 0; x < q && len(o.hitPos) < e.delta; x++ {
+			i, j, ok := sample.RejectPair(r, len(e.data), notSame, e.maxReject)
+			if !ok {
+				o.exhausted = true
+				break
+			}
+			if e.sim(e.data[i], e.data[j]) >= tau {
+				o.hitPos = append(o.hitPos, int32(x))
+			}
+			o.taken++
 		}
-		return e.sim(e.data[i], e.data[j]) >= tau, true
 	})
+	res := mergeAdaptive(outs, e.delta, e.mL)
 	d.HitsL = res.Hits
 	d.TakenL = res.Taken
 	d.ReliableL = res.Reliable

@@ -38,15 +38,21 @@ func NewMedianSS(index *lsh.Index, sim SimFunc, opts ...LSHSSOption) (*MedianSS,
 // Name implements Estimator.
 func (e *MedianSS) Name() string { return "LSH-SS(median)" }
 
-// Estimate implements Estimator.
+// Estimate implements Estimator. The ℓ per-table estimates are independent,
+// so each runs on its own split RNG stream, fanned across cores; collecting
+// them in table order keeps the median deterministic for a given rng state
+// regardless of GOMAXPROCS.
 func (e *MedianSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
-	ests := make([]float64, 0, len(e.subs))
-	for _, s := range e.subs {
-		v, err := s.Estimate(tau, rng)
+	ests := make([]float64, len(e.subs))
+	errs := make([]error, len(e.subs))
+	rngs := rng.SplitN(len(e.subs))
+	runShards(len(e.subs), func(t int) {
+		ests[t], errs[t] = e.subs[t].Estimate(tau, rngs[t])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return 0, err
 		}
-		ests = append(ests, v)
 	}
 	return stats.Median(ests), nil
 }

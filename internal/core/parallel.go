@@ -1,0 +1,100 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lshjoin/internal/sample"
+)
+
+// Parallel sampling support. Estimator inner loops (SampleH's m_H weighted
+// pair draws, SampleL's adaptive rejection draws, the median estimator's ℓ
+// independent sub-estimates) fan out across a deterministic number of
+// shards, each driven by its own xrand.Split stream, and merge in shard
+// order. Results therefore depend only on the caller's RNG state and the
+// sample sizes — never on GOMAXPROCS or scheduling — while wall-clock time
+// scales with cores.
+
+// sampleShards picks the shard count for m draws: one shard per 256 draws,
+// capped at 16. It must stay a pure function of m — the shard layout is part
+// of the deterministic sampling order.
+func sampleShards(m int) int {
+	s := m / 256
+	if s < 1 {
+		return 1
+	}
+	if s > 16 {
+		return 16
+	}
+	return s
+}
+
+// shardQuota returns how many of m draws shard i of s performs: m/s, with
+// the first m%s shards taking one extra.
+func shardQuota(m, s, i int) int {
+	q := m / s
+	if i < m%s {
+		q++
+	}
+	return q
+}
+
+// mergeAdaptive replays Lipton's adaptive loop over the concatenated shard
+// streams: draws are consumed in shard order, stopping at delta hits or
+// maxSamples draws; a shard whose rejection sampler gave up ends the stream
+// (the sequential loop treats an exhausted draw the same way).
+func mergeAdaptive(outs []lShard, delta, maxSamples int) sample.AdaptiveResult {
+	var r sample.AdaptiveResult
+	for s := range outs {
+		o := &outs[s]
+		hp := 0
+		for p := 0; p < o.taken; p++ {
+			if r.Hits >= delta || r.Taken >= maxSamples {
+				r.Reliable = r.Hits >= delta
+				return r
+			}
+			r.Taken++
+			if hp < len(o.hitPos) && o.hitPos[hp] == int32(p) {
+				r.Hits++
+				hp++
+			}
+		}
+		if o.exhausted {
+			break
+		}
+	}
+	r.Reliable = r.Hits >= delta
+	return r
+}
+
+// runShards executes fn(0..s-1) on up to GOMAXPROCS goroutines. fn must
+// write only to its own shard's slots.
+func runShards(s int, fn func(shard int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > s {
+		workers = s
+	}
+	if workers <= 1 {
+		for i := 0; i < s; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= s {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -228,26 +228,34 @@ func TestEstimateBoundedAndDeterministic(t *testing.T) {
 
 // TestLCQualitativeUnderestimation reproduces the §6.2 finding: with binary
 // LSH functions LC systematically underestimates at low-to-mid thresholds
-// (its tail-only evidence cannot see the body of the distribution).
+// (its tail-only evidence cannot see the body of the distribution). The
+// check is over the median of several family seeds at a k where banding
+// retains evidence — at k = 20 on a 400-vector corpus nearly every seed
+// degenerates to a clamped blow-up (for any gaussian stream), so a
+// single-draw assertion there only measures seed luck.
 func TestLCQualitativeUnderestimation(t *testing.T) {
 	data := testData(400, 15)
-	l, err := New(data, lsh.NewSimHash(16), Config{K: 20})
-	if err != nil {
-		t.Fatal(err)
-	}
 	truth := float64(exactjoin.BruteForceCount(data, 0.2))
 	if truth < 100 {
 		t.Skip("not enough low-threshold mass")
 	}
-	est, err := l.Estimate(0.2, nil)
-	if err != nil {
-		t.Fatal(err)
+	under := 0
+	const seeds = 5
+	for seed := uint64(16); seed < 16+seeds; seed++ {
+		l, err := New(data, lsh.NewSimHash(seed), Config{K: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := l.Estimate(0.2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < truth {
+			under++
+		}
 	}
-	if est > truth {
-		t.Logf("note: LC overestimated on this draw (est=%v truth=%v)", est, truth)
-	}
-	if est > 10*truth {
-		t.Errorf("LC exploded: est %v vs truth %v", est, truth)
+	if under <= seeds/2 {
+		t.Errorf("LC underestimated on only %d/%d seeds (truth %v); §6.2 expects systematic underestimation", under, seeds, truth)
 	}
 }
 

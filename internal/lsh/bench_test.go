@@ -32,6 +32,53 @@ func BenchmarkBuildK20(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildK20Naive measures the same construction through the naive
+// per-vector Family.Hash path the engine replaced, as the speedup reference.
+func BenchmarkBuildK20Naive(b *testing.B) {
+	data := benchData(5000, 56000, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewSimHash(uint64(i + 1))
+		keys := naiveKeys(data, f, 20, 1)
+		if tab := newTableStr(keys[0], 20, 0, 1); tab.N() != len(data) {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkInsertBatch measures bulk loading 1000 vectors into an existing
+// k=20 index through the engine-signed batch path.
+func BenchmarkInsertBatch(b *testing.B) {
+	data := benchData(6000, 56000, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		idx, err := Build(data[:5000], NewSimHash(uint64(i+1)), 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		idx.InsertBatch(data[5000:])
+	}
+}
+
+// BenchmarkInsertLoop is the single-Insert loop InsertBatch replaced.
+func BenchmarkInsertLoop(b *testing.B) {
+	data := benchData(6000, 56000, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		idx, err := Build(data[:5000], NewSimHash(uint64(i+1)), 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, v := range data[5000:] {
+			idx.Insert(v)
+		}
+	}
+}
+
 // BenchmarkSimHash20 measures hashing one vector with 20 functions.
 func BenchmarkSimHash20(b *testing.B) {
 	data := benchData(1, 56000, 14)

@@ -15,6 +15,7 @@ import (
 type Bipartite struct {
 	left, right *Index // single-table indexes sharing family, k and fn range
 	table       int
+	ltab, rtab  *Table
 
 	matches []bucketMatch
 	cum     []int64
@@ -38,15 +39,25 @@ func NewBipartite(left, right *Index, t int) (*Bipartite, error) {
 	if t < 0 || t >= left.L() || t >= right.L() {
 		return nil, fmt.Errorf("lsh: table %d out of range", t)
 	}
-	b := &Bipartite{left: left, right: right, table: t}
-	lt, rt := left.Table(t), right.Table(t)
-	// Deterministic order: iterate left buckets in insertion order.
-	lt.ForEachBucket(func(key string, ids []int32) bool {
-		if rids := rt.BucketIDs(key); len(rids) > 0 {
-			b.matches = append(b.matches, bucketMatch{key: key, left: ids, right: rids})
+	b := &Bipartite{left: left, right: right, table: t,
+		ltab: left.Table(t), rtab: right.Table(t)}
+	// Deterministic order: iterate left buckets in insertion order. Narrow
+	// tables match on machine words; only the stored diagnostic key is a
+	// string.
+	if b.ltab.Narrow() {
+		for _, lb := range b.ltab.order {
+			if rids := b.rtab.bucket64(lb.key64); len(rids) > 0 {
+				b.matches = append(b.matches, bucketMatch{key: key64String(lb.key64), left: lb.ids, right: rids})
+			}
 		}
-		return true
-	})
+	} else {
+		b.ltab.ForEachBucket(func(key string, ids []int32) bool {
+			if rids := b.rtab.BucketIDs(key); len(rids) > 0 {
+				b.matches = append(b.matches, bucketMatch{key: key, left: ids, right: rids})
+			}
+			return true
+		})
+	}
 	b.cum = make([]int64, len(b.matches))
 	var total int64
 	for i, m := range b.matches {
@@ -68,9 +79,14 @@ func (b *Bipartite) NH() int64 { return b.nh }
 // NL returns M − N_H.
 func (b *Bipartite) NL() int64 { return b.M() - b.nh }
 
-// SameBucket reports whether u ∈ U and v ∈ V have equal g values.
+// SameBucket reports whether u ∈ U and v ∈ V have equal g values. In narrow
+// mode this is a machine-word compare with no allocation (the estimators'
+// stratum-L rejection sampler calls it per candidate pair).
 func (b *Bipartite) SameBucket(u, v int) bool {
-	return b.left.Table(b.table).KeyOf(u) == b.right.Table(b.table).KeyOf(v)
+	if b.ltab.Narrow() {
+		return b.ltab.key64(u) == b.rtab.key64(v)
+	}
+	return b.ltab.keysStr[u] == b.rtab.keysStr[v]
 }
 
 // SamplePair draws a uniform random cross pair from stratum H: a matched

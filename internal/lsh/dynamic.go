@@ -12,17 +12,34 @@ import "lshjoin/internal/vecmath"
 // estimating while inserting. Estimators constructed before an Insert hold a
 // snapshot of the data slice and must be rebuilt to see new vectors.
 
-// insert appends one pre-hashed vector to the table, maintaining N_H
-// incrementally (adding to a bucket of size b creates b new co-located
+// insert64 appends one pre-hashed vector to a narrow-mode table, maintaining
+// N_H incrementally (adding to a bucket of size b creates b new co-located
 // pairs) and deferring the cumulative-weight rebuild.
-func (t *Table) insert(key string) {
-	t.keys = append(t.keys, key)
-	b, ok := t.buckets[key]
+func (t *Table) insert64(key uint64) {
+	t.keys64 = append(t.keys64, key)
+	bi, ok := t.idx64[key]
 	if !ok {
-		b = &bucket{key: key}
-		t.buckets[key] = b
-		t.order = append(t.order, b)
+		bi = int32(len(t.order))
+		t.idx64[key] = bi
+		t.order = append(t.order, &bucket{key64: key})
 	}
+	b := t.order[bi]
+	t.nh += int64(len(b.ids))
+	b.ids = append(b.ids, int32(t.n))
+	t.n++
+	t.dirty = true
+}
+
+// insertStr is insert64 for wide-mode tables.
+func (t *Table) insertStr(key string) {
+	t.keysStr = append(t.keysStr, key)
+	bi, ok := t.idxStr[key]
+	if !ok {
+		bi = int32(len(t.order))
+		t.idxStr[key] = bi
+		t.order = append(t.order, &bucket{keyStr: key})
+	}
+	b := t.order[bi]
 	t.nh += int64(len(b.ids))
 	b.ids = append(b.ids, int32(t.n))
 	t.n++
@@ -39,26 +56,46 @@ func (t *Table) ensureFrozen() {
 
 // Insert hashes v into every table and appends it to the indexed collection,
 // returning its id. Cost: ℓ·k hash evaluations plus O(1) bucket updates; the
-// next SamplePair on each table pays one O(#buckets) prefix-sum rebuild.
+// next SamplePair on each table pays one O(#buckets) prefix-sum rebuild. In
+// narrow-key mode no strings are allocated.
 func (x *Index) Insert(v vecmath.Vector) int {
 	id := len(x.data)
 	x.data = append(x.data, v)
 	vals := make([]uint64, x.k)
+	narrow := x.narrow()
 	for t := 0; t < x.ell; t++ {
-		base := t * x.k
-		for j := 0; j < x.k; j++ {
-			vals[j] = x.family.Hash(base+j, v)
+		x.hashInto(t, v, vals)
+		if narrow {
+			x.tables[t].insert64(packWord(vals, x.family.Bits()))
+		} else {
+			x.tables[t].insertStr(packKey(vals, x.family.Bits()))
 		}
-		x.tables[t].insert(packKey(vals, x.family.Bits()))
 	}
 	return id
 }
 
-// InsertBatch inserts vectors in order and returns the id of the first.
+// InsertBatch inserts vectors in order and returns the id of the first. The
+// batch is signed by the signature engine — keyed-stream rows shared by the
+// batch are computed once, and signing runs in parallel — so bulk loading
+// costs far less than len(vs) repeated Inserts.
 func (x *Index) InsertBatch(vs []vecmath.Vector) int {
 	first := len(x.data)
-	for _, v := range vs {
-		x.Insert(v)
+	if len(vs) == 0 {
+		return first
+	}
+	x.data = append(x.data, vs...)
+	sigs := newEngine(x.family, x.k, x.ell).sign(vs)
+	for t := 0; t < x.ell; t++ {
+		tab := x.tables[t]
+		if sigs.narrow {
+			for _, key := range sigs.u64[t] {
+				tab.insert64(key)
+			}
+		} else {
+			for _, key := range sigs.str[t] {
+				tab.insertStr(key)
+			}
+		}
 	}
 	return first
 }

@@ -1,0 +1,344 @@
+package lsh
+
+import (
+	"runtime"
+	"sync"
+
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// engine computes bucket keys for whole batches of vectors at once. The
+// naive path — Family.Hash per (vector, function) — recomputes every keyed
+// gaussian / keyed hash once per vector that touches a dimension, an
+// O(n·ℓ·k·nnz) bill dominated by the keyed-stream evaluations. The engine
+// flips the loop to dimension-major order: for each table it materializes
+// the ℓ·k keyed-stream rows of every distinct dimension in the batch exactly
+// once (O(|vocab|·ℓ·k) stream evaluations), then signs vectors by streaming
+// their entries against the cached rows with plain multiply-adds or min
+// scans. Corpora that reuse dimensions (any Zipfian vocabulary) pay the
+// expensive keyed streams only once per dimension.
+//
+// The engine is an internal optimization, not a semantic change: for every
+// family it produces keys byte-identical to the Family.Hash + packKey path
+// (engine_test.go enforces this), because cached rows come from the same
+// keyed streams and per-vector accumulation visits entries in the same
+// order as the naive hash.
+type engine struct {
+	fam    Family
+	k, ell int
+	bits   int
+	narrow bool
+}
+
+// signatures holds per-table bucket keys for a batch of vectors: u64 in
+// narrow mode (k·bits ≤ 64), canonical packed strings otherwise.
+type signatures struct {
+	narrow bool
+	u64    [][]uint64 // [table][vector]
+	str    [][]string
+}
+
+func newEngine(fam Family, k, ell int) *engine {
+	return &engine{fam: fam, k: k, ell: ell, bits: fam.Bits(), narrow: isNarrow(k, fam.Bits())}
+}
+
+// newSignatures allocates the per-table key slices for n vectors.
+func (e *engine) newSignatures(n int) *signatures {
+	s := &signatures{narrow: e.narrow}
+	if e.narrow {
+		s.u64 = make([][]uint64, e.ell)
+		for t := range s.u64 {
+			s.u64[t] = make([]uint64, n)
+		}
+		return s
+	}
+	s.str = make([][]string, e.ell)
+	for t := range s.str {
+		s.str[t] = make([]string, n)
+	}
+	return s
+}
+
+// table builds table t from the signatures.
+func (s *signatures) table(t, k, fnBase, bits int) *Table {
+	if s.narrow {
+		return newTable64(s.u64[t], k, fnBase, bits)
+	}
+	return newTableStr(s.str[t], k, fnBase, bits)
+}
+
+// sign computes the bucket key of every vector in every table. The result is
+// deterministic and independent of GOMAXPROCS: workers write disjoint,
+// index-addressed slots, and all cached values are pure functions of
+// (seed, fn, dim).
+func (e *engine) sign(data []vecmath.Vector) *signatures {
+	sigs := e.newSignatures(len(data))
+	if len(data) == 0 {
+		return sigs
+	}
+	switch f := e.fam.(type) {
+	case SimHash:
+		e.signSimHash(f, data, sigs)
+	case MinHash:
+		e.signMinHash(f, data, sigs)
+	default:
+		e.signGeneric(data, sigs)
+	}
+	return sigs
+}
+
+// vocab is the batch vocabulary: every distinct dimension gets a dense row
+// index (first-appearance order — nothing downstream depends on it), and
+// each vector's entries are pre-translated to row indices so the signing
+// loops never touch a dimension lookup.
+type vocab struct {
+	dims   []uint32  // row -> dimension
+	rowIdx [][]int32 // per vector: row index of each entry, aligned with Entries()
+}
+
+// vocabulary builds the batch vocabulary in one pass. When the dimension
+// space is small relative to the batch it uses a flat lookup table instead
+// of a map (DBLP-shaped corpora live here; the cutoff bounds LUT memory by a
+// small multiple of the batch itself).
+func vocabulary(data []vecmath.Vector) *vocab {
+	var maxDim uint32
+	total := 0
+	for _, v := range data {
+		if d := v.MaxDim(); d > maxDim {
+			maxDim = d
+		}
+		total += v.NNZ()
+	}
+	voc := &vocab{rowIdx: make([][]int32, len(data))}
+	backing := make([]int32, total)
+	if int64(maxDim) <= 8*int64(total)+4096 {
+		lut := make([]int32, maxDim)
+		for i := range lut {
+			lut[i] = -1
+		}
+		for i, v := range data {
+			es := v.Entries()
+			ri := backing[:len(es):len(es)]
+			backing = backing[len(es):]
+			for e, en := range es {
+				r := lut[en.Dim]
+				if r < 0 {
+					r = int32(len(voc.dims))
+					lut[en.Dim] = r
+					voc.dims = append(voc.dims, en.Dim)
+				}
+				ri[e] = r
+			}
+			voc.rowIdx[i] = ri
+		}
+		return voc
+	}
+	rows := make(map[uint32]int32)
+	for i, v := range data {
+		es := v.Entries()
+		ri := backing[:len(es):len(es)]
+		backing = backing[len(es):]
+		for e, en := range es {
+			r, ok := rows[en.Dim]
+			if !ok {
+				r = int32(len(voc.dims))
+				rows[en.Dim] = r
+				voc.dims = append(voc.dims, en.Dim)
+			}
+			ri[e] = r
+		}
+		voc.rowIdx[i] = ri
+	}
+	return voc
+}
+
+// parallelChunks invokes fn over [0, n) split into contiguous chunks, one
+// per available CPU. fn must only write to slots in its own range.
+func parallelChunks(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// signSimHash signs the batch with cached hyperplane rows: per table, an
+// ℓ·k-free projection cache proj[row·k+j] = a_{fnBase+j}[dim], then one
+// multiply-add pass per vector entry. Accumulation order per function equals
+// the naive SimHash.Hash entry order, so dot products (and their signs) are
+// bit-identical to the per-vector path.
+func (e *engine) signSimHash(f SimHash, data []vecmath.Vector, sigs *signatures) {
+	voc := vocabulary(data)
+	k := e.k
+	proj := make([]float64, len(voc.dims)*k)
+	streams := make([]xrand.GaussStream, k)
+	for t := 0; t < e.ell; t++ {
+		fnBase := uint64(t * k)
+		for j := range streams {
+			streams[j] = xrand.NewGaussStream(f.seed, fnBase+uint64(j))
+		}
+		parallelChunks(len(voc.dims), func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				d := uint64(voc.dims[r])
+				row := proj[r*k : r*k+k]
+				for j := range row {
+					row[j] = streams[j].At(d)
+				}
+			}
+		})
+		parallelChunks(len(data), func(lo, hi int) {
+			dots := make([]float64, k)
+			vals := make([]uint64, k)
+			for i := lo; i < hi; i++ {
+				for j := range dots {
+					dots[j] = 0
+				}
+				es := data[i].Entries()
+				for e2, r := range voc.rowIdx[i] {
+					w := float64(es[e2].Weight)
+					row := proj[int(r)*k : int(r)*k+k]
+					for j := 0; j < k; j++ {
+						dots[j] += w * row[j]
+					}
+				}
+				if sigs.narrow {
+					var word uint64
+					for _, dot := range dots {
+						word <<= 1
+						if dot >= 0 {
+							word |= 1
+						}
+					}
+					sigs.u64[t][i] = word
+				} else {
+					for j, dot := range dots {
+						if dot >= 0 {
+							vals[j] = 1
+						} else {
+							vals[j] = 0
+						}
+					}
+					sigs.str[t][i] = packKey(vals, 1)
+				}
+			}
+		})
+	}
+}
+
+// signMinHash signs the batch with cached rank rows rank[row·k+j] =
+// hash64(seed, fnBase+j, dim); each vector takes the min over its entries
+// per function (order-independent, so trivially identical to the naive
+// path) and truncates to Bits().
+func (e *engine) signMinHash(f MinHash, data []vecmath.Vector, sigs *signatures) {
+	voc := vocabulary(data)
+	k := e.k
+	shift := uint(64 - f.bits)
+	rank := make([]uint64, len(voc.dims)*k)
+	vals64 := make([]uint64, k)
+	streams := make([]xrand.HashStream, k)
+	for t := 0; t < e.ell; t++ {
+		fnBase := uint64(t * k)
+		for j := range streams {
+			streams[j] = xrand.NewHashStream(f.seed, fnBase+uint64(j))
+		}
+		parallelChunks(len(voc.dims), func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				d := uint64(voc.dims[r])
+				row := rank[r*k : r*k+k]
+				for j := range row {
+					row[j] = streams[j].At(d)
+				}
+			}
+		})
+		// Empty vectors share a per-function sentinel bucket.
+		for j := 0; j < k; j++ {
+			vals64[j] = hash64(f.seed, fnBase+uint64(j), ^uint64(0)) >> shift
+		}
+		emptyWord := uint64(0)
+		emptyKey := ""
+		if sigs.narrow {
+			emptyWord = packWord(vals64, f.bits)
+		} else {
+			emptyKey = packKey(vals64, f.bits)
+		}
+		parallelChunks(len(data), func(lo, hi int) {
+			best := make([]uint64, k)
+			vals := make([]uint64, k)
+			for i := lo; i < hi; i++ {
+				es := data[i].Entries()
+				if len(es) == 0 {
+					if sigs.narrow {
+						sigs.u64[t][i] = emptyWord
+					} else {
+						sigs.str[t][i] = emptyKey
+					}
+					continue
+				}
+				for j := range best {
+					best[j] = ^uint64(0)
+				}
+				for _, r := range voc.rowIdx[i] {
+					row := rank[int(r)*k : int(r)*k+k]
+					for j := 0; j < k; j++ {
+						if row[j] < best[j] {
+							best[j] = row[j]
+						}
+					}
+				}
+				if sigs.narrow {
+					var word uint64
+					for _, b := range best {
+						word = word<<uint(f.bits) | b>>shift
+					}
+					sigs.u64[t][i] = word
+				} else {
+					for j, b := range best {
+						vals[j] = b >> shift
+					}
+					sigs.str[t][i] = packKey(vals, f.bits)
+				}
+			}
+		})
+	}
+}
+
+// signGeneric signs the batch through Family.Hash — no dimension cache, but
+// still parallel across vectors and allocation-free in narrow mode. All
+// family implementations not known to the engine take this path.
+func (e *engine) signGeneric(data []vecmath.Vector, sigs *signatures) {
+	k := e.k
+	for t := 0; t < e.ell; t++ {
+		base := t * k
+		parallelChunks(len(data), func(lo, hi int) {
+			vals := make([]uint64, k)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < k; j++ {
+					vals[j] = e.fam.Hash(base+j, data[i])
+				}
+				if sigs.narrow {
+					sigs.u64[t][i] = packWord(vals, e.bits)
+				} else {
+					sigs.str[t][i] = packKey(vals, e.bits)
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,29 @@
 // N_H = Σ_j C(b_j, 2), the number of vector pairs co-located in a bucket.
 // Tables also support sampling a uniform random pair from stratum H (pairs
 // sharing a bucket) in O(log #buckets) time.
+//
+// # The signature engine
+//
+// Hash families are stateless: Hash(fn, v) materializes hyperplane
+// components (SimHash) or element ranks (MinHash) on demand from keyed
+// streams, so no O(d) state is ever stored per function. Naively, building
+// an index evaluates those streams once per (vector, function, entry) —
+// O(n·ℓ·k·nnz) keyed-stream calls. Build, InsertBatch and the benchmarks
+// instead go through the batched signature engine (engine.go), which hashes
+// in dimension-major order: each distinct dimension's ℓ·k stream values are
+// computed exactly once and vectors are signed by streaming their entries
+// against the cached rows. The engine is proven byte-identical to the
+// per-vector path by engine_test.go.
+//
+// # Bucket keys
+//
+// A table's bucket key is the concatenation of its k hash values. Whenever
+// k·Bits() ≤ 64 — SimHash up to k = 64, MinHash up to k = 2 — keys live in
+// a single uint64 and tables index buckets by machine word, allocation
+// free. Wider configurations fall back to packed big-endian strings. KeyOf,
+// BucketIDs and ForEachBucket always speak the canonical string form;
+// SameBucket, Query and the bipartite matcher use word compares in narrow
+// mode.
 package lsh
 
 import (

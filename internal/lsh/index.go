@@ -2,7 +2,6 @@ package lsh
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"lshjoin/internal/vecmath"
@@ -19,11 +18,18 @@ type Index struct {
 	k, ell int
 	data   []vecmath.Vector
 	tables []*Table
+
+	// qpool recycles Query working state (hash scratch + epoch-stamped
+	// visited array) so candidate retrieval allocates no map per call while
+	// staying safe for concurrent Query callers.
+	qpool sync.Pool
 }
 
 // Build hashes every vector of data into ℓ tables of k concatenated hash
-// functions each. Signature computation is parallelized across vectors;
-// the result is deterministic for a given family seed.
+// functions each, through the batched signature engine (see engine.go):
+// keyed-stream rows are materialized once per distinct dimension and vector
+// signing is parallelized. The result is deterministic for a given family
+// seed, independent of GOMAXPROCS.
 func Build(data []vecmath.Vector, family Family, k, ell int) (*Index, error) {
 	if err := validateParams(family, k, ell); err != nil {
 		return nil, err
@@ -32,52 +38,10 @@ func Build(data []vecmath.Vector, family Family, k, ell int) (*Index, error) {
 		return nil, fmt.Errorf("lsh: empty vector collection")
 	}
 	idx := &Index{family: family, k: k, ell: ell, data: data}
-
-	// Compute all ℓ·k hash values per vector in parallel, then assemble
-	// tables serially (cheap) to keep bucket insertion order deterministic.
-	keys := make([][]string, ell)
-	for t := range keys {
-		keys[t] = make([]string, len(data))
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(data) {
-		workers = len(data)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(data) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(data) {
-			hi = len(data)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			vals := make([]uint64, k)
-			for i := lo; i < hi; i++ {
-				for t := 0; t < ell; t++ {
-					base := t * k
-					for j := 0; j < k; j++ {
-						vals[j] = family.Hash(base+j, data[i])
-					}
-					keys[t][i] = packKey(vals, family.Bits())
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
+	sigs := newEngine(family, k, ell).sign(data)
 	idx.tables = make([]*Table, ell)
-	sv := make([]signedVectors, len(data))
 	for t := 0; t < ell; t++ {
-		for i := range data {
-			sv[i] = signedVectors{key: keys[t][i]}
-		}
-		idx.tables[t] = newTable(sv, k, t*k)
+		idx.tables[t] = sigs.table(t, k, t*k, family.Bits())
 	}
 	return idx, nil
 }
@@ -103,14 +67,23 @@ func (x *Index) Table(t int) *Table { return x.tables[t] }
 // Tables returns all ℓ tables.
 func (x *Index) Tables() []*Table { return x.tables }
 
-// KeyFor computes the bucket key of an arbitrary (possibly out-of-index)
-// vector in table t, for use by similarity search and bipartite joins.
-func (x *Index) KeyFor(t int, v vecmath.Vector) string {
-	vals := make([]uint64, x.k)
+// narrow reports whether the index's tables use machine-word keys.
+func (x *Index) narrow() bool { return isNarrow(x.k, x.family.Bits()) }
+
+// hashInto fills vals with the k hash values of v for table t.
+func (x *Index) hashInto(t int, v vecmath.Vector, vals []uint64) {
 	base := t * x.k
 	for j := 0; j < x.k; j++ {
 		vals[j] = x.family.Hash(base+j, v)
 	}
+}
+
+// KeyFor computes the bucket key of an arbitrary (possibly out-of-index)
+// vector in table t, in canonical string form, for use by similarity search
+// and bipartite joins.
+func (x *Index) KeyFor(t int, v vecmath.Vector) string {
+	vals := make([]uint64, x.k)
+	x.hashInto(t, v, vals)
 	return packKey(vals, x.family.Bits())
 }
 
@@ -137,21 +110,62 @@ func (x *Index) BucketMultiplicity(i, j int) int {
 	return m
 }
 
+// visitState is the reusable Query working set: k hash values and an
+// epoch-stamped visited array (stamp[id] == epoch marks id as emitted this
+// query), replacing a per-call map[int32]struct{}.
+type visitState struct {
+	vals  []uint64
+	stamp []uint32
+	epoch uint32
+}
+
+func (x *Index) getVisit() *visitState {
+	vs, _ := x.qpool.Get().(*visitState)
+	if vs == nil {
+		vs = &visitState{}
+	}
+	if len(vs.vals) < x.k {
+		vs.vals = make([]uint64, x.k)
+	}
+	if len(vs.stamp) < len(x.data) {
+		vs.stamp = make([]uint32, len(x.data))
+		vs.epoch = 0
+	}
+	vs.epoch++
+	if vs.epoch == 0 { // wrapped: stale stamps could collide, reset
+		for i := range vs.stamp {
+			vs.stamp[i] = 0
+		}
+		vs.epoch = 1
+	}
+	return vs
+}
+
 // Query returns the ids of all vectors sharing a bucket with v in any table,
 // excluding duplicates — the standard LSH candidate-retrieval operation the
 // index exists for. The order is deterministic (first table, bucket order).
 func (x *Index) Query(v vecmath.Vector) []int32 {
-	seen := make(map[int32]struct{})
+	vs := x.getVisit()
+	vals := vs.vals[:x.k]
+	narrow := x.narrow()
+	bits := x.family.Bits()
 	var out []int32
 	for t := 0; t < x.ell; t++ {
-		key := x.KeyFor(t, v)
-		for _, id := range x.tables[t].BucketIDs(key) {
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
+		x.hashInto(t, v, vals)
+		var ids []int32
+		if narrow {
+			ids = x.tables[t].bucket64(packWord(vals, bits))
+		} else {
+			ids = x.tables[t].BucketIDs(packKey(vals, bits))
+		}
+		for _, id := range ids {
+			if vs.stamp[id] != vs.epoch {
+				vs.stamp[id] = vs.epoch
 				out = append(out, id)
 			}
 		}
 	}
+	x.qpool.Put(vs)
 	return out
 }
 

@@ -14,58 +14,87 @@ import (
 // cumulative-weight array so that a uniform random pair from stratum H can
 // be drawn in O(log #buckets).
 //
-// Build tables through Build (single table via BuildTable); a built table is
-// immutable.
+// Storage comes in two modes. When the concatenated hash value fits in a
+// machine word (k·Bits() ≤ 64 — SimHash up to k=64, MinHash up to k=2) the
+// table keys buckets by uint64, so neither construction nor lookup allocates
+// key strings. Wider configurations fall back to the packed string keys of
+// packKey. Both modes expose the same canonical string form through KeyOf /
+// BucketIDs / ForEachBucket.
+//
+// Build tables through Build; a built table is extended in place by Index
+// inserts (see dynamic.go).
 type Table struct {
 	k      int
 	fnBase int // hash function indices used: [fnBase, fnBase+k)
 	n      int
+	bits   int  // bit width of each hash value
+	narrow bool // k·bits ≤ 64: uint64 key mode
 
-	keys    []string // per-vector bucket key, index = vector id
-	buckets map[string]*bucket
-	order   []*bucket // deterministic (insertion) order for sampling
-	cum     []int64   // cum[i] = Σ_{j ≤ i} C(order[j].size, 2)
-	nh      int64
-	dirty   bool // inserts invalidated cum; rebuilt lazily (see dynamic.go)
+	keys64  []uint64 // narrow mode: per-vector bucket key, index = vector id
+	keysStr []string // wide mode
+	idx64   map[uint64]int32
+	idxStr  map[string]int32
+
+	order []*bucket // deterministic (insertion) order for sampling
+	cum   []int64   // cum[i] = Σ_{j ≤ i} C(order[j].size, 2)
+	nh    int64
+	dirty bool // inserts invalidated cum; rebuilt lazily (see dynamic.go)
 }
 
 type bucket struct {
-	key string
-	ids []int32
+	key64  uint64 // narrow mode
+	keyStr string // wide mode
+	ids    []int32
 }
 
 // pairs2 returns C(b, 2) without overflow for b up to ~3e9.
 func pairs2(b int64) int64 { return b * (b - 1) / 2 }
 
-// newTable hashes every vector of data with functions [fnBase, fnBase+k) of
-// family and freezes the result.
-func newTable(data []signedVectors, k, fnBase int) *Table {
+// isNarrow reports whether k hash values of the given width pack into one
+// machine word.
+func isNarrow(k, bits int) bool { return k*bits <= 64 }
+
+// newTable64 freezes pre-computed uint64 bucket keys (one per vector) into a
+// narrow-mode table.
+func newTable64(keys []uint64, k, fnBase, bits int) *Table {
 	t := &Table{
-		k:       k,
-		fnBase:  fnBase,
-		n:       len(data),
-		keys:    make([]string, len(data)),
-		buckets: make(map[string]*bucket),
+		k: k, fnBase: fnBase, n: len(keys), bits: bits, narrow: true,
+		keys64: keys,
+		idx64:  make(map[uint64]int32),
 	}
-	for i, sv := range data {
-		key := sv.key
-		t.keys[i] = key
-		b, ok := t.buckets[key]
+	for i, key := range keys {
+		bi, ok := t.idx64[key]
 		if !ok {
-			b = &bucket{key: key}
-			t.buckets[key] = b
-			t.order = append(t.order, b)
+			bi = int32(len(t.order))
+			t.idx64[key] = bi
+			t.order = append(t.order, &bucket{key64: key})
 		}
+		b := t.order[bi]
 		b.ids = append(b.ids, int32(i))
 	}
 	t.freeze()
 	return t
 }
 
-// signedVectors pairs a vector id with its precomputed bucket key for one
-// table. (Signatures are computed in parallel by Build.)
-type signedVectors struct {
-	key string
+// newTableStr freezes pre-computed string bucket keys into a wide-mode table.
+func newTableStr(keys []string, k, fnBase, bits int) *Table {
+	t := &Table{
+		k: k, fnBase: fnBase, n: len(keys), bits: bits, narrow: false,
+		keysStr: keys,
+		idxStr:  make(map[string]int32),
+	}
+	for i, key := range keys {
+		bi, ok := t.idxStr[key]
+		if !ok {
+			bi = int32(len(t.order))
+			t.idxStr[key] = bi
+			t.order = append(t.order, &bucket{keyStr: key})
+		}
+		b := t.order[bi]
+		b.ids = append(b.ids, int32(i))
+	}
+	t.freeze()
+	return t
 }
 
 func (t *Table) freeze() {
@@ -78,6 +107,14 @@ func (t *Table) freeze() {
 	t.nh = total
 }
 
+// keyString renders the canonical string form of b's key.
+func (b *bucket) keyString(narrow bool) string {
+	if narrow {
+		return key64String(b.key64)
+	}
+	return b.keyStr
+}
+
 // N returns the number of indexed vectors.
 func (t *Table) N() int { return t.n }
 
@@ -86,6 +123,9 @@ func (t *Table) K() int { return t.k }
 
 // FnBase returns the index of the first hash function used by this table.
 func (t *Table) FnBase() int { return t.fnBase }
+
+// Narrow reports whether the table uses machine-word bucket keys.
+func (t *Table) Narrow() bool { return t.narrow }
 
 // NumBuckets returns the number of non-empty buckets n_g.
 func (t *Table) NumBuckets() int { return len(t.order) }
@@ -99,21 +139,52 @@ func (t *Table) NH() int64 { return t.nh }
 // NL returns N_L = M − N_H, the number of pairs not sharing a bucket.
 func (t *Table) NL() int64 { return t.M() - t.nh }
 
-// KeyOf returns the bucket key of vector i.
-func (t *Table) KeyOf(i int) string { return t.keys[i] }
+// KeyOf returns the bucket key of vector i in canonical string form (the
+// 8-byte big-endian packed word in narrow mode).
+func (t *Table) KeyOf(i int) string {
+	if t.narrow {
+		return key64String(t.keys64[i])
+	}
+	return t.keysStr[i]
+}
+
+// key64 returns the machine-word key of vector i (narrow mode only).
+func (t *Table) key64(i int) uint64 { return t.keys64[i] }
 
 // SameBucket reports whether vectors i and j hash to the same bucket,
 // i.e. whether the pair (i, j) belongs to stratum H of this table.
-func (t *Table) SameBucket(i, j int) bool { return t.keys[i] == t.keys[j] }
+func (t *Table) SameBucket(i, j int) bool {
+	if t.narrow {
+		return t.keys64[i] == t.keys64[j]
+	}
+	return t.keysStr[i] == t.keysStr[j]
+}
 
-// BucketIDs returns the member ids of the bucket with the given key (nil if
-// absent). Callers must not modify the returned slice.
+// BucketIDs returns the member ids of the bucket with the given key in
+// canonical string form (nil if absent). Callers must not modify the
+// returned slice.
 func (t *Table) BucketIDs(key string) []int32 {
-	b, ok := t.buckets[key]
+	if t.narrow {
+		w, ok := parseKey64(key)
+		if !ok {
+			return nil
+		}
+		return t.bucket64(w)
+	}
+	bi, ok := t.idxStr[key]
 	if !ok {
 		return nil
 	}
-	return b.ids
+	return t.order[bi].ids
+}
+
+// bucket64 returns the member ids of the bucket keyed by w (narrow mode).
+func (t *Table) bucket64(w uint64) []int32 {
+	bi, ok := t.idx64[w]
+	if !ok {
+		return nil
+	}
+	return t.order[bi].ids
 }
 
 // BucketSizes returns the multiset of bucket counts b_j in deterministic
@@ -136,6 +207,11 @@ func (t *Table) MaxBucket() int {
 	}
 	return max
 }
+
+// Freeze eagerly rebuilds the weighted-sampling prefix sums after inserts.
+// SamplePair does this lazily on first use; callers that fan SamplePair
+// across goroutines must Freeze first so the rebuild does not race.
+func (t *Table) Freeze() { t.ensureFrozen() }
 
 // SamplePair draws a uniform random pair from stratum H: a bucket B_j chosen
 // with weight C(b_j, 2), then a uniform distinct pair inside it. ok is false
@@ -173,11 +249,11 @@ func (t *Table) ForEachIntraPair(fn func(i, j int32) bool) {
 	}
 }
 
-// ForEachBucket calls fn for every bucket in deterministic order; it stops
-// early if fn returns false.
+// ForEachBucket calls fn for every bucket in deterministic order with the
+// canonical string key; it stops early if fn returns false.
 func (t *Table) ForEachBucket(fn func(key string, ids []int32) bool) {
 	for _, b := range t.order {
-		if !fn(b.key, b.ids) {
+		if !fn(b.keyString(t.narrow), b.ids) {
 			return
 		}
 	}
@@ -188,11 +264,43 @@ func (t *Table) ForEachBucket(fn func(key string, ids []int32) bool) {
 // one 4-byte id per member. Go map/runtime overheads are deliberately
 // excluded to mirror "ignoring implementation-dependent overheads".
 func (t *Table) SizeBytes() int64 {
+	keyBytes := int64(8)
 	var s int64
 	for _, b := range t.order {
-		s += int64(len(b.key)) + 8 + 4*int64(len(b.ids))
+		if !t.narrow {
+			keyBytes = int64(len(b.keyStr))
+		}
+		s += keyBytes + 8 + 4*int64(len(b.ids))
 	}
 	return s
+}
+
+// packWord packs k hash values, each using `bits` low bits, into one machine
+// word; callers must have checked isNarrow(k, bits).
+func packWord(vals []uint64, bits int) uint64 {
+	var w uint64
+	for _, v := range vals {
+		w = w<<uint(bits) | v
+	}
+	return w
+}
+
+// key64String renders a machine-word key in the canonical 8-byte big-endian
+// string form, matching what packKey produces for the same values.
+func key64String(w uint64) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], w)
+	return string(buf[:])
+}
+
+// parseKey64 inverts key64String without allocating.
+func parseKey64(key string) (uint64, bool) {
+	if len(key) != 8 {
+		return 0, false
+	}
+	return uint64(key[0])<<56 | uint64(key[1])<<48 | uint64(key[2])<<40 |
+		uint64(key[3])<<32 | uint64(key[4])<<24 | uint64(key[5])<<16 |
+		uint64(key[6])<<8 | uint64(key[7]), true
 }
 
 // packKey encodes k hash values, each using `bits` low bits, into a compact
@@ -200,13 +308,7 @@ func (t *Table) SizeBytes() int64 {
 // big-endian packed word; otherwise it is the concatenation of 8-byte words.
 func packKey(vals []uint64, bits int) string {
 	if bits*len(vals) <= 64 {
-		var word uint64
-		for _, v := range vals {
-			word = word<<uint(bits) | v
-		}
-		var buf [8]byte
-		binary.BigEndian.PutUint64(buf[:], word)
-		return string(buf[:])
+		return key64String(packWord(vals, bits))
 	}
 	buf := make([]byte, 8*len(vals))
 	for i, v := range vals {
