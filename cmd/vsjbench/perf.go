@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
+	"lshjoin"
 	"lshjoin/internal/core"
 	"lshjoin/internal/lsh"
 	"lshjoin/internal/vecmath"
@@ -15,7 +17,8 @@ import (
 
 // Perf trajectory tooling: `vsjbench -perf` times the hot paths of the LSH
 // layer (index build, per-vector signing, LSH-SS estimation, candidate
-// retrieval) with testing.Benchmark and writes the results as JSON. The file
+// retrieval, snapshot publication, and a mixed Estimate+Insert serving
+// workload) with testing.Benchmark and writes the results as JSON. The file
 // is committed as BENCH_lsh.json at the repo root so future changes can be
 // diffed against the recorded baseline.
 
@@ -59,11 +62,11 @@ func runPerf(outPath string) error {
 	if err != nil {
 		return err
 	}
-	tab1, err := lsh.Build(data, lsh.NewSimHash(5), k, 1)
+	snap1, err := lsh.BuildSnapshot(data, lsh.NewSimHash(5), k, 1)
 	if err != nil {
 		return err
 	}
-	est, err := core.NewLSHSS(tab1.Table(0), data, nil)
+	est, err := core.NewLSHSS(snap1, nil)
 	if err != nil {
 		return err
 	}
@@ -111,7 +114,7 @@ func runPerf(outPath string) error {
 			_ = idx.Query(data[i%len(data)])
 		}
 	})
-	add("insert_batch_1000_k20", func(b *testing.B) {
+	add("insert_batch_1000_k20_publish", func(b *testing.B) {
 		tail := perfData(1000, dims, nnz, 2)
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -121,7 +124,61 @@ func runPerf(outPath string) error {
 			}
 			b.StartTimer()
 			ix.InsertBatch(tail)
+			ix.Snapshot()
 		}
+	})
+	add("snapshot_publish_after_insert", func(b *testing.B) {
+		ix, err := lsh.Build(data, lsh.NewSimHash(13), k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := data[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Insert(v)
+			ix.Snapshot()
+		}
+	})
+	// Mixed serving workload: a background writer streams single-vector
+	// inserts into a live Collection while the measured loop constructs a
+	// snapshot-bound estimator and answers one estimate per op — the
+	// "estimate under ingest" case the snapshot refactor exists for.
+	add("serve_mixed_estimate_insert", func(b *testing.B) {
+		coll, err := lshjoin.New(data, lshjoin.Options{K: k, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tail := perfData(2000, dims, nnz, 3)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				coll.Insert(tail[i%len(tail)])
+				runtime.Gosched()
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := coll.Estimator(lshjoin.AlgoLSHSS,
+				lshjoin.WithEstimatorSeed(uint64(i+1)),
+				lshjoin.WithSampleBudget(500, 500))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Estimate(0.8); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
 	})
 
 	buf, err := json.MarshalIndent(report, "", "  ")

@@ -87,11 +87,11 @@ func NewCrossJoin(left, right []Vector, opt Options) (*CrossJoin, error) {
 	default:
 		return nil, fmt.Errorf("lshjoin: unknown measure %d", opt.Measure)
 	}
-	li, err := lsh.Build(left, family, opt.K, 1)
+	li, err := lsh.BuildSnapshot(left, family, opt.K, 1)
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: left index: %w", err)
 	}
-	ri, err := lsh.Build(right, family, opt.K, 1)
+	ri, err := lsh.BuildSnapshot(right, family, opt.K, 1)
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: right index: %w", err)
 	}

@@ -27,15 +27,31 @@
 // benchmark harness regenerating every table and figure of the paper — see
 // DESIGN.md and EXPERIMENTS.md.
 //
+// # Concurrency
+//
+// A Collection serves reads while it ingests. Insert and InsertBatch
+// append to a pending delta; reads run against immutable snapshots that
+// are published with a single atomic pointer swap, so Estimate,
+// SearchSimilar, ExactJoinSize and JoinPairs never block each other and
+// never observe a half-applied mutation. Estimators bind to the snapshot
+// current at their construction and keep answering over that version
+// forever — there is no staleness error and nothing to rebuild; construct
+// a new estimator (cheap) to observe newer data. All Collection methods
+// are safe for unsynchronized concurrent use.
+//
 // # Performance
 //
 // Index construction and bulk loading run through a batched signature
 // engine (internal/lsh/engine.go): keyed gaussian / rank rows are
 // materialized once per distinct corpus dimension instead of once per
 // vector, bucket keys are packed machine words whenever k·Bits() ≤ 64, and
-// signing parallelizes across cores. Estimator sampling (LSH-SS's SampleH
-// and SampleL, and the multi-table median) fans out across deterministic
-// RNG-split shards, so estimates are bit-for-bit reproducible for a given
-// seed at any GOMAXPROCS. Run `vsjbench -perf` to regenerate the
-// BENCH_lsh.json hot-path timings tracked in the repository root.
+// signing parallelizes across cores. Bucket insertion is shard-parallel
+// (internal/lsh/build.go): keys scatter across fixed key-hash shards whose
+// buckets build independently and merge into the canonical first-appearance
+// order, byte-identical to a serial build at any GOMAXPROCS. Estimator
+// sampling (LSH-SS's SampleH and SampleL, and the multi-table median) fans
+// out across deterministic RNG-split shards, so estimates are bit-for-bit
+// reproducible for a given seed at any GOMAXPROCS. Run `vsjbench -perf` to
+// regenerate the BENCH_lsh.json hot-path timings tracked in the repository
+// root, including a mixed Estimate+Insert serving benchmark.
 package lshjoin

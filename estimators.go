@@ -47,6 +47,12 @@ func Algorithms() []Algorithm {
 // Estimator produces join-size estimates. Implementations returned by
 // Collection.Estimator own their random state: calls are reproducible for a
 // fixed EstimatorSeed and estimator construction order.
+//
+// An estimator binds to the collection version current at its construction
+// and answers over that immutable snapshot forever: vectors inserted later
+// never perturb it, and no staleness error exists. To estimate over newer
+// data, construct a new estimator — construction is cheap (no sampling or
+// hashing happens until Estimate).
 type Estimator interface {
 	// Name identifies the algorithm and configuration.
 	Name() string
@@ -114,15 +120,18 @@ func (c *Collection) Estimator(algo Algorithm, opts ...EstimatorOption) (Estimat
 	if o.seed == 0 {
 		o.seed = c.nextSeed()
 	}
-	tab := c.index.Table(0)
+	// Bind to the collection version current at construction; the estimator
+	// reads this immutable snapshot for its whole lifetime.
+	snap := c.snap()
+	vectors := snap.Data()
 	var ssOpts []core.LSHSSOption
 	if o.sampleH > 0 || o.sampleL > 0 {
 		h, l := o.sampleH, o.sampleL
 		if h <= 0 {
-			h = len(c.vectors)
+			h = len(vectors)
 		}
 		if l <= 0 {
-			l = len(c.vectors)
+			l = len(vectors)
 		}
 		ssOpts = append(ssOpts, core.WithSampleSizes(h, l))
 	}
@@ -136,30 +145,30 @@ func (c *Collection) Estimator(algo Algorithm, opts ...EstimatorOption) (Estimat
 		if o.damp > 0 {
 			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
 		}
-		inner, err = core.NewLSHSS(tab, c.vectors, c.sim, ssOpts...)
+		inner, err = core.NewLSHSS(snap, c.sim, ssOpts...)
 	case AlgoLSHSSD:
 		if o.damp > 0 {
 			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
 		} else {
 			ssOpts = append(ssOpts, core.WithDamp(core.DampAuto, 0))
 		}
-		inner, err = core.NewLSHSS(tab, c.vectors, c.sim, ssOpts...)
+		inner, err = core.NewLSHSS(snap, c.sim, ssOpts...)
 	case AlgoRSPop:
-		inner, err = core.NewRSPop(c.vectors, c.sim, o.sampleH)
+		inner, err = core.NewRSPop(vectors, c.sim, o.sampleH)
 	case AlgoRSCross:
-		inner, err = core.NewRSCross(c.vectors, c.sim, o.sampleH)
+		inner, err = core.NewRSCross(vectors, c.sim, o.sampleH)
 	case AlgoLSHS:
-		inner, err = core.NewLSHS(tab, c.family, c.vectors, o.sampleH)
+		inner, err = core.NewLSHS(snap, o.sampleH)
 	case AlgoJU:
-		inner, err = core.NewJU(tab, c.family, core.JUClosedForm)
+		inner, err = core.NewJU(snap, core.JUClosedForm)
 	case AlgoJUNumeric:
-		inner, err = core.NewJU(tab, c.family, core.JUNumeric)
+		inner, err = core.NewJU(snap, core.JUNumeric)
 	case AlgoLC:
 		cfg := lc.Config{K: c.opt.K, Seed: o.seed}
 		if o.support > 0 {
 			cfg.MinSupport = o.support
 		}
-		inner, err = lc.New(c.vectors, c.family, cfg)
+		inner, err = lc.New(vectors, c.family, cfg)
 	case AlgoMedian:
 		if c.opt.Tables < 2 {
 			return nil, fmt.Errorf("lshjoin: %s needs Options.Tables > 1 (have %d)", algo, c.opt.Tables)
@@ -167,7 +176,7 @@ func (c *Collection) Estimator(algo Algorithm, opts ...EstimatorOption) (Estimat
 		if o.damp > 0 {
 			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
 		}
-		inner, err = core.NewMedianSS(c.index, c.sim, ssOpts...)
+		inner, err = core.NewMedianSS(snap, c.sim, ssOpts...)
 	case AlgoVirtual:
 		if c.opt.Tables < 2 {
 			return nil, fmt.Errorf("lshjoin: %s needs Options.Tables > 1 (have %d)", algo, c.opt.Tables)
@@ -175,7 +184,7 @@ func (c *Collection) Estimator(algo Algorithm, opts ...EstimatorOption) (Estimat
 		if o.damp > 0 {
 			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
 		}
-		inner, err = core.NewVirtualSS(c.index, c.sim, ssOpts...)
+		inner, err = core.NewVirtualSS(snap, c.sim, ssOpts...)
 	default:
 		return nil, fmt.Errorf("lshjoin: unknown algorithm %q", algo)
 	}

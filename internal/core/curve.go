@@ -32,9 +32,6 @@ func (e *LSHSS) EstimateCurve(taus []float64, rng *xrand.RNG) ([]float64, error)
 			return nil, err
 		}
 	}
-	if e.table.N() != len(e.data) {
-		return nil, fmt.Errorf("core: stale estimator: index has %d vectors, snapshot has %d (rebuild after Insert)", e.table.N(), len(e.data))
-	}
 	// Sorted view with back-mapping so the sampling pass is shared.
 	order := make([]int, len(taus))
 	for i := range order {

@@ -19,11 +19,11 @@ func bipartiteFixture(t *testing.T) (*lsh.Bipartite, []vecmath.Vector, []vecmath
 		right[i] = left[i]
 	}
 	fam := lsh.NewSimHash(63)
-	li, err := lsh.Build(left, fam, 10, 1)
+	li, err := lsh.BuildSnapshot(left, fam, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ri, err := lsh.Build(right, fam, 10, 1)
+	ri, err := lsh.BuildSnapshot(right, fam, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,15 +34,15 @@ const (
 	JUNumeric                  // integrates the family's p(s)^k
 )
 
-// NewJU builds the estimator over one LSH table.
-func NewJU(table *lsh.Table, family lsh.Family, mode JUMode) (*JU, error) {
-	if table == nil || family == nil {
-		return nil, fmt.Errorf("core: JU needs a table and a family")
+// NewJU builds the estimator over table 0 of an index snapshot.
+func NewJU(snap *lsh.Snapshot, mode JUMode) (*JU, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: JU needs an index snapshot")
 	}
 	if mode != JUClosedForm && mode != JUNumeric {
 		return nil, fmt.Errorf("core: unknown JU mode %d", mode)
 	}
-	return &JU{table: table, family: family, mode: mode}, nil
+	return &JU{table: snap.Table(0), family: snap.Family(), mode: mode}, nil
 }
 
 // Name implements Estimator.

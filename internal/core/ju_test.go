@@ -8,28 +8,25 @@ import (
 	"lshjoin/internal/xrand"
 )
 
-func simhashIndex(t *testing.T, n int, k, ell int, dataSeed, hashSeed uint64) *lsh.Index {
+func simhashIndex(t *testing.T, n int, k, ell int, dataSeed, hashSeed uint64) *lsh.Snapshot {
 	t.Helper()
 	data := testData(n, dataSeed)
-	idx, err := lsh.Build(data, lsh.NewSimHash(hashSeed), k, ell)
+	snap, err := lsh.BuildSnapshot(data, lsh.NewSimHash(hashSeed), k, ell)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return idx
+	return snap
 }
 
 func TestJUValidation(t *testing.T) {
 	idx := simhashIndex(t, 50, 8, 1, 1, 2)
-	if _, err := NewJU(nil, lsh.NewSimHash(2), JUClosedForm); err == nil {
-		t.Error("nil table accepted")
+	if _, err := NewJU(nil, JUClosedForm); err == nil {
+		t.Error("nil snapshot accepted")
 	}
-	if _, err := NewJU(idx.Table(0), nil, JUClosedForm); err == nil {
-		t.Error("nil family accepted")
-	}
-	if _, err := NewJU(idx.Table(0), lsh.NewSimHash(2), JUMode(99)); err == nil {
+	if _, err := NewJU(idx, JUMode(99)); err == nil {
 		t.Error("bogus mode accepted")
 	}
-	e, err := NewJU(idx.Table(0), lsh.NewSimHash(2), JUClosedForm)
+	e, err := NewJU(idx, JUClosedForm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +40,7 @@ func TestJUValidation(t *testing.T) {
 func TestJUClosedFormArithmetic(t *testing.T) {
 	idx := simhashIndex(t, 200, 10, 1, 3, 4)
 	tab := idx.Table(0)
-	e, err := NewJU(tab, lsh.NewSimHash(4), JUClosedForm)
+	e, err := NewJU(idx, JUClosedForm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,15 +73,15 @@ func TestJUClosedFormArithmetic(t *testing.T) {
 func TestJUNumericMatchesClosedFormForMinHash(t *testing.T) {
 	data := testData(300, 5)
 	fam := lsh.NewMinHash(6)
-	idx, err := lsh.Build(data, fam, 6, 1)
+	idx, err := lsh.BuildSnapshot(data, fam, 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	closed, err := NewJU(idx.Table(0), fam, JUClosedForm)
+	closed, err := NewJU(idx, JUClosedForm)
 	if err != nil {
 		t.Fatal(err)
 	}
-	numeric, err := NewJU(idx.Table(0), fam, JUNumeric)
+	numeric, err := NewJU(idx, JUNumeric)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,9 +105,8 @@ func TestJUNumericMatchesClosedFormForMinHash(t *testing.T) {
 // ablation.
 func TestJUNumericDiffersForSimHash(t *testing.T) {
 	idx := simhashIndex(t, 300, 10, 1, 7, 8)
-	fam := lsh.NewSimHash(8)
-	closed, _ := NewJU(idx.Table(0), fam, JUClosedForm)
-	numeric, _ := NewJU(idx.Table(0), fam, JUNumeric)
+	closed, _ := NewJU(idx, JUClosedForm)
+	numeric, _ := NewJU(idx, JUNumeric)
 	differs := false
 	for _, tau := range []float64{0.3, 0.5, 0.7} {
 		a, _ := closed.Estimate(tau, nil)
@@ -126,9 +122,8 @@ func TestJUNumericDiffersForSimHash(t *testing.T) {
 
 func TestJUBounded(t *testing.T) {
 	idx := simhashIndex(t, 100, 12, 1, 9, 10)
-	fam := lsh.NewSimHash(10)
 	for _, mode := range []JUMode{JUClosedForm, JUNumeric} {
-		e, err := NewJU(idx.Table(0), fam, mode)
+		e, err := NewJU(idx, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +178,7 @@ func TestConditionalProbsProperties(t *testing.T) {
 
 func TestJUDeterministic(t *testing.T) {
 	idx := simhashIndex(t, 100, 8, 1, 11, 12)
-	e, _ := NewJU(idx.Table(0), lsh.NewSimHash(12), JUClosedForm)
+	e, _ := NewJU(idx, JUClosedForm)
 	a, _ := e.Estimate(0.5, xrand.New(1))
 	b, _ := e.Estimate(0.5, xrand.New(999))
 	if a != b {

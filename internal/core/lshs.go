@@ -28,18 +28,20 @@ type LSHS struct {
 	m      int
 }
 
-// NewLSHS builds the estimator; m is the pair-sample size (defaults to n).
-func NewLSHS(table *lsh.Table, family lsh.Family, data []vecmath.Vector, m int) (*LSHS, error) {
-	if table == nil || family == nil {
-		return nil, fmt.Errorf("core: LSH-S needs a table and a family")
+// NewLSHS builds the estimator over table 0 of an index snapshot; m is the
+// pair-sample size (defaults to n). Like all estimators, it binds to the
+// snapshot at construction and is immune to concurrent inserts.
+func NewLSHS(snap *lsh.Snapshot, m int) (*LSHS, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: LSH-S needs an index snapshot")
 	}
-	if len(data) < 2 {
-		return nil, fmt.Errorf("core: LSH-S needs at least 2 vectors, got %d", len(data))
+	if snap.N() < 2 {
+		return nil, fmt.Errorf("core: LSH-S needs at least 2 vectors, got %d", snap.N())
 	}
 	if m <= 0 {
-		m = len(data)
+		m = snap.N()
 	}
-	return &LSHS{table: table, family: family, data: data, m: m}, nil
+	return &LSHS{table: snap.Table(0), family: snap.Family(), data: snap.Data(), m: m}, nil
 }
 
 // Name implements Estimator.

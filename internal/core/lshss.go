@@ -38,6 +38,7 @@ type LSHSS struct {
 	data  []vecmath.Vector
 	sim   SimFunc
 
+	tableIdx    int
 	mH, mL      int
 	delta       int
 	damp        DampMode
@@ -73,24 +74,28 @@ func WithAlwaysScale() LSHSSOption {
 	return func(e *LSHSS) { e.alwaysScale = true }
 }
 
-// NewLSHSS builds the estimator over one LSH table. sim defaults to cosine.
-func NewLSHSS(table *lsh.Table, data []vecmath.Vector, sim SimFunc, opts ...LSHSSOption) (*LSHSS, error) {
-	if table == nil {
-		return nil, fmt.Errorf("core: LSH-SS needs a table")
+// WithTable selects which of the snapshot's ℓ tables induces the strata
+// (default 0). The multi-table median estimator runs one LSHSS per table.
+func WithTable(t int) LSHSSOption {
+	return func(e *LSHSS) { e.tableIdx = t }
+}
+
+// NewLSHSS builds the estimator over one table of an index snapshot. The
+// estimator binds to the snapshot at construction: it answers over that
+// immutable version forever, unaffected by concurrent inserts into the
+// owning index. sim defaults to cosine.
+func NewLSHSS(snap *lsh.Snapshot, sim SimFunc, opts ...LSHSSOption) (*LSHSS, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: LSH-SS needs an index snapshot")
 	}
-	if len(data) < 2 {
-		return nil, fmt.Errorf("core: LSH-SS needs at least 2 vectors, got %d", len(data))
-	}
-	if table.N() != len(data) {
-		return nil, fmt.Errorf("core: table indexes %d vectors but data has %d", table.N(), len(data))
+	if snap.N() < 2 {
+		return nil, fmt.Errorf("core: LSH-SS needs at least 2 vectors, got %d", snap.N())
 	}
 	if sim == nil {
 		sim = vecmath.Cosine
 	}
-	n := len(data)
+	n := snap.N()
 	e := &LSHSS{
-		table:     table,
-		data:      data,
 		sim:       sim,
 		mH:        n,
 		mL:        n,
@@ -102,6 +107,11 @@ func NewLSHSS(table *lsh.Table, data []vecmath.Vector, sim SimFunc, opts ...LSHS
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.tableIdx < 0 || e.tableIdx >= snap.L() {
+		return nil, fmt.Errorf("core: table %d out of range [0, %d)", e.tableIdx, snap.L())
+	}
+	e.table = snap.Table(e.tableIdx)
+	e.data = snap.Data()
 	if e.mH < 1 || e.mL < 1 {
 		return nil, fmt.Errorf("core: sample sizes must be positive (mH=%d, mL=%d)", e.mH, e.mL)
 	}
@@ -150,9 +160,6 @@ func (e *LSHSS) EstimateDetailed(tau float64, rng *xrand.RNG) (Detail, error) {
 	if err := validateTau(tau); err != nil {
 		return Detail{}, err
 	}
-	if e.table.N() != len(e.data) {
-		return Detail{}, fmt.Errorf("core: stale estimator: index has %d vectors, snapshot has %d (rebuild after Insert)", e.table.N(), len(e.data))
-	}
 	d := e.sampleH(tau, rng)
 	e.sampleL(tau, rng, &d)
 	d.Estimate = clampEstimate(d.JH+d.JL, float64(e.table.M()))
@@ -170,7 +177,6 @@ func (e *LSHSS) sampleH(tau float64, rng *xrand.RNG) Detail {
 	if nh == 0 {
 		return d // empty stratum contributes nothing
 	}
-	e.table.Freeze() // concurrent SamplePair must not race the lazy rebuild
 	shards := sampleShards(e.mH)
 	rngs := rng.SplitN(shards)
 	hits := make([]int, shards)

@@ -13,11 +13,11 @@ import (
 func lshssFor(t *testing.T, n int, k int, dataSeed, hashSeed uint64, opts ...LSHSSOption) (*LSHSS, []vecmath.Vector) {
 	t.Helper()
 	data := testData(n, dataSeed)
-	idx, err := lsh.Build(data, lsh.NewSimHash(hashSeed), k, 1)
+	snap, err := lsh.BuildSnapshot(data, lsh.NewSimHash(hashSeed), k, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewLSHSS(idx.Table(0), data, nil, opts...)
+	e, err := NewLSHSS(snap, nil, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,29 +26,29 @@ func lshssFor(t *testing.T, n int, k int, dataSeed, hashSeed uint64, opts ...LSH
 
 func TestLSHSSValidation(t *testing.T) {
 	data := testData(50, 1)
-	idx, err := lsh.Build(data, lsh.NewSimHash(2), 8, 1)
+	snap, err := lsh.BuildSnapshot(data, lsh.NewSimHash(2), 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewLSHSS(nil, data, nil); err == nil {
-		t.Error("nil table accepted")
+	if _, err := NewLSHSS(nil, nil); err == nil {
+		t.Error("nil snapshot accepted")
 	}
-	if _, err := NewLSHSS(idx.Table(0), data[:10], nil); err == nil {
-		t.Error("size mismatch accepted")
+	if _, err := NewLSHSS(snap, nil, WithTable(1)); err == nil {
+		t.Error("out-of-range table accepted")
 	}
-	if _, err := NewLSHSS(idx.Table(0), data, nil, WithSampleSizes(0, 10)); err == nil {
+	if _, err := NewLSHSS(snap, nil, WithSampleSizes(0, 10)); err == nil {
 		t.Error("mH=0 accepted")
 	}
-	if _, err := NewLSHSS(idx.Table(0), data, nil, WithDelta(0)); err == nil {
+	if _, err := NewLSHSS(snap, nil, WithDelta(0)); err == nil {
 		t.Error("delta=0 accepted")
 	}
-	if _, err := NewLSHSS(idx.Table(0), data, nil, WithDamp(DampConst, 0)); err == nil {
+	if _, err := NewLSHSS(snap, nil, WithDamp(DampConst, 0)); err == nil {
 		t.Error("cs=0 accepted")
 	}
-	if _, err := NewLSHSS(idx.Table(0), data, nil, WithDamp(DampConst, 1.2)); err == nil {
+	if _, err := NewLSHSS(snap, nil, WithDamp(DampConst, 1.2)); err == nil {
 		t.Error("cs>1 accepted")
 	}
-	e, err := NewLSHSS(idx.Table(0), data, nil)
+	e, err := NewLSHSS(snap, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,12 +79,12 @@ func TestLSHSSDefaults(t *testing.T) {
 
 func TestLSHSSNames(t *testing.T) {
 	data := testData(50, 1)
-	idx, _ := lsh.Build(data, lsh.NewSimHash(2), 8, 1)
-	d, _ := NewLSHSS(idx.Table(0), data, nil, WithDamp(DampAuto, 0))
+	snap, _ := lsh.BuildSnapshot(data, lsh.NewSimHash(2), 8, 1)
+	d, _ := NewLSHSS(snap, nil, WithDamp(DampAuto, 0))
 	if d.Name() != "LSH-SS(D)" {
 		t.Errorf("damped name %q", d.Name())
 	}
-	a, _ := NewLSHSS(idx.Table(0), data, nil, WithAlwaysScale())
+	a, _ := NewLSHSS(snap, nil, WithAlwaysScale())
 	if a.Name() != "LSH-SS(always-scale)" {
 		t.Errorf("ablation name %q", a.Name())
 	}
@@ -203,13 +203,13 @@ func TestLSHSSSafeLowerBound(t *testing.T) {
 // DampAuto by n_L/δ.
 func TestLSHSSDampedScaleUp(t *testing.T) {
 	data := testData(500, 11)
-	idx, err := lsh.Build(data, lsh.NewSimHash(12), 10, 1)
+	snap, err := lsh.BuildSnapshot(data, lsh.NewSimHash(12), 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab := idx.Table(0)
+	tab := snap.Table(0)
 	mkDet := func(opts ...LSHSSOption) Detail {
-		e, err := NewLSHSS(tab, data, nil, opts...)
+		e, err := NewLSHSS(snap, nil, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -246,9 +246,9 @@ func TestLSHSSDampedScaleUp(t *testing.T) {
 // by N_L/m_L even when unreliable.
 func TestLSHSSAlwaysScaleAblation(t *testing.T) {
 	data := testData(500, 11)
-	idx, _ := lsh.Build(data, lsh.NewSimHash(12), 10, 1)
-	tab := idx.Table(0)
-	e, err := NewLSHSS(tab, data, nil, WithDelta(1000000), WithSampleSizes(500, 300), WithAlwaysScale())
+	snap, _ := lsh.BuildSnapshot(data, lsh.NewSimHash(12), 10, 1)
+	tab := snap.Table(0)
+	e, err := NewLSHSS(snap, nil, WithDelta(1000000), WithSampleSizes(500, 300), WithAlwaysScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,11 +312,11 @@ func TestLSHSSVarianceBelowRS(t *testing.T) {
 func TestLSHSSJaccard(t *testing.T) {
 	data := testData(400, 19)
 	fam := lsh.NewMinHash(20)
-	idx, err := lsh.Build(data, fam, 8, 1)
+	snap, err := lsh.BuildSnapshot(data, fam, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewLSHSS(idx.Table(0), data, vecmath.Jaccard, WithSampleSizes(400, 60000))
+	e, err := NewLSHSS(snap, vecmath.Jaccard, WithSampleSizes(400, 60000))
 	if err != nil {
 		t.Fatal(err)
 	}

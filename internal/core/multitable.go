@@ -19,14 +19,15 @@ type MedianSS struct {
 	subs []*LSHSS
 }
 
-// NewMedianSS builds per-table LSH-SS estimators with shared options.
-func NewMedianSS(index *lsh.Index, sim SimFunc, opts ...LSHSSOption) (*MedianSS, error) {
-	if index == nil {
-		return nil, fmt.Errorf("core: median estimator needs an index")
+// NewMedianSS builds per-table LSH-SS estimators with shared options, all
+// bound to the same index snapshot.
+func NewMedianSS(snap *lsh.Snapshot, sim SimFunc, opts ...LSHSSOption) (*MedianSS, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: median estimator needs an index snapshot")
 	}
-	subs := make([]*LSHSS, 0, index.L())
-	for _, t := range index.Tables() {
-		s, err := NewLSHSS(t, index.Data(), sim, opts...)
+	subs := make([]*LSHSS, 0, snap.L())
+	for t := 0; t < snap.L(); t++ {
+		s, err := NewLSHSS(snap, sim, append(append([]LSHSSOption(nil), opts...), WithTable(t))...)
 		if err != nil {
 			return nil, err
 		}
@@ -69,8 +70,8 @@ func (e *MedianSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 // of the pair's bucket multiplicity — which gives unbiased estimates of both
 // |S_H^∪| and J_H. DESIGN.md records this as a documented extension.
 type VirtualSS struct {
-	index *lsh.Index
-	sim   SimFunc
+	snap *lsh.Snapshot
+	sim  SimFunc
 
 	mH, mL    int
 	delta     int
@@ -82,31 +83,31 @@ type VirtualSS struct {
 	totalNH float64   // Σ_t N_H,t
 }
 
-// NewVirtualSS builds the virtual-bucket estimator. The LSHSS options
-// WithSampleSizes, WithDelta and WithDamp are honored.
-func NewVirtualSS(index *lsh.Index, sim SimFunc, opts ...LSHSSOption) (*VirtualSS, error) {
-	if index == nil {
-		return nil, fmt.Errorf("core: virtual-bucket estimator needs an index")
+// NewVirtualSS builds the virtual-bucket estimator over an index snapshot.
+// The LSHSS options WithSampleSizes, WithDelta and WithDamp are honored.
+func NewVirtualSS(snap *lsh.Snapshot, sim SimFunc, opts ...LSHSSOption) (*VirtualSS, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: virtual-bucket estimator needs an index snapshot")
 	}
-	if index.N() < 2 {
+	if snap.N() < 2 {
 		return nil, fmt.Errorf("core: need at least 2 vectors")
 	}
 	if sim == nil {
 		sim = vecmath.Cosine
 	}
 	// Reuse LSHSS option plumbing by materializing one throwaway instance.
-	probe, err := NewLSHSS(index.Table(0), index.Data(), sim, opts...)
+	probe, err := NewLSHSS(snap, sim, opts...)
 	if err != nil {
 		return nil, err
 	}
 	mH, mL, delta, damp, cs := probe.Params()
 	e := &VirtualSS{
-		index: index, sim: sim,
+		snap: snap, sim: sim,
 		mH: mH, mL: mL, delta: delta, damp: damp, cs: cs,
 		maxReject: 4096,
 	}
-	e.mixture = make([]float64, index.L())
-	for t, tab := range index.Tables() {
+	e.mixture = make([]float64, snap.L())
+	for t, tab := range snap.Tables() {
 		e.mixture[t] = float64(tab.NH())
 		e.totalNH += e.mixture[t]
 	}
@@ -123,7 +124,7 @@ func (e *VirtualSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 	}
 	jh := e.sampleH(tau, rng)
 	jl := e.sampleL(tau, rng)
-	return clampEstimate(jh+jl, pairsOf(e.index.N())), nil
+	return clampEstimate(jh+jl, pairsOf(e.snap.N())), nil
 }
 
 // sampleH draws from the per-table mixture with multiplicity correction:
@@ -137,12 +138,12 @@ func (e *VirtualSS) sampleH(tau float64, rng *xrand.RNG) float64 {
 	var sum float64 // Σ [sim ≥ τ]/mult over draws
 	for s := 0; s < e.mH; s++ {
 		t := e.pickTable(rng)
-		i, j, ok := e.index.Table(t).SamplePair(rng)
+		i, j, ok := e.snap.Table(t).SamplePair(rng)
 		if !ok {
 			continue
 		}
-		if e.sim(e.index.Data()[i], e.index.Data()[j]) >= tau {
-			sum += 1 / float64(e.index.BucketMultiplicity(i, j))
+		if e.sim(e.snap.Data()[i], e.snap.Data()[j]) >= tau {
+			sum += 1 / float64(e.snap.BucketMultiplicity(i, j))
 		}
 	}
 	return sum * e.totalNH / float64(e.mH)
@@ -157,11 +158,11 @@ func (e *VirtualSS) NHVirtual(m int, rng *xrand.RNG) float64 {
 	var sum float64
 	for s := 0; s < m; s++ {
 		t := e.pickTable(rng)
-		i, j, ok := e.index.Table(t).SamplePair(rng)
+		i, j, ok := e.snap.Table(t).SamplePair(rng)
 		if !ok {
 			continue
 		}
-		sum += 1 / float64(e.index.BucketMultiplicity(i, j))
+		sum += 1 / float64(e.snap.BucketMultiplicity(i, j))
 	}
 	return sum * e.totalNH / float64(m)
 }
@@ -182,20 +183,20 @@ func (e *VirtualSS) pickTable(rng *xrand.RNG) int {
 // and N_L approximated by M − N̂_H (the union N_H is itself estimated; the
 // approximation error is second-order because N_H ≪ M in any useful index).
 func (e *VirtualSS) sampleL(tau float64, rng *xrand.RNG) float64 {
-	n := e.index.N()
+	n := e.snap.N()
 	m := pairsOf(n)
 	nhHat := e.NHVirtual(minInt(e.mH, 2048), rng)
 	nl := m - nhHat
 	if nl <= 0 {
 		return 0
 	}
-	notSame := func(i, j int) bool { return !e.index.SameAnyBucket(i, j) }
+	notSame := func(i, j int) bool { return !e.snap.SameAnyBucket(i, j) }
 	res := sample.Adaptive(e.delta, e.mL, func() (bool, bool) {
 		i, j, ok := sample.RejectPair(rng, n, notSame, e.maxReject)
 		if !ok {
 			return false, false
 		}
-		return e.sim(e.index.Data()[i], e.index.Data()[j]) >= tau, true
+		return e.sim(e.snap.Data()[i], e.snap.Data()[j]) >= tau, true
 	})
 	switch {
 	case res.Reliable:

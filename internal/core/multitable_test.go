@@ -17,7 +17,7 @@ func TestMedianSSValidation(t *testing.T) {
 
 func TestMedianSSAccuracy(t *testing.T) {
 	data := testData(600, 31)
-	idx, err := lsh.Build(data, lsh.NewSimHash(32), 10, 5)
+	idx, err := lsh.BuildSnapshot(data, lsh.NewSimHash(32), 10, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestMedianSSAccuracy(t *testing.T) {
 // larger than (and typically below) a single-table estimate.
 func TestMedianReducesSpread(t *testing.T) {
 	data := testData(600, 35)
-	idx, err := lsh.Build(data, lsh.NewSimHash(36), 10, 5)
+	idx, err := lsh.BuildSnapshot(data, lsh.NewSimHash(36), 10, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestMedianReducesSpread(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := NewLSHSS(idx.Table(0), data, nil)
+	single, err := NewLSHSS(idx, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestVirtualSSValidation(t *testing.T) {
 // |S_H^∪| against exact enumeration on a small collection.
 func TestNHVirtualUnbiased(t *testing.T) {
 	data := testData(250, 41)
-	idx, err := lsh.Build(data, lsh.NewSimHash(42), 6, 3)
+	idx, err := lsh.BuildSnapshot(data, lsh.NewSimHash(42), 6, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestNHVirtualUnbiased(t *testing.T) {
 
 func TestVirtualSSAccuracy(t *testing.T) {
 	data := testData(500, 45)
-	idx, err := lsh.Build(data, lsh.NewSimHash(46), 8, 3)
+	idx, err := lsh.BuildSnapshot(data, lsh.NewSimHash(46), 8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestVirtualSSAccuracy(t *testing.T) {
 
 func TestVirtualSSBounded(t *testing.T) {
 	data := testData(300, 49)
-	idx, err := lsh.Build(data, lsh.NewSimHash(50), 8, 2)
+	idx, err := lsh.BuildSnapshot(data, lsh.NewSimHash(50), 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,11 +65,11 @@ func OptimalK(data []vecmath.Vector, family lsh.Family, sim SimFunc, tauRef, rho
 	var reports []KReport
 	chosen := 0
 	for k := kMin; k <= kMax; k++ {
-		idx, err := lsh.Build(probe, family, k, 1)
+		snap, err := lsh.BuildSnapshot(probe, family, k, 1)
 		if err != nil {
 			return 0, nil, err
 		}
-		tab := idx.Table(0)
+		tab := snap.Table(0)
 		rep := KReport{K: k, NH: tab.NH()}
 		if tab.NH() > 0 {
 			hits, draws := 0, 0

@@ -29,11 +29,11 @@ func parallelTestData(n int, seed uint64) []vecmath.Vector {
 // several, and across repeated runs.
 func TestEstimateDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	data := parallelTestData(1500, 7)
-	idx, err := lsh.Build(data, lsh.NewSimHash(3), 8, 4)
+	idx, err := lsh.BuildSnapshot(data, lsh.NewSimHash(3), 8, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := NewLSHSS(idx.Table(0), data, nil)
+	single, err := NewLSHSS(idx, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,14 +30,14 @@ func (propWorld) Generate(r *rand.Rand, _ int) reflect.Value {
 	})
 }
 
-func (w propWorld) build(t *testing.T) (*lsh.Index, []vecmath.Vector) {
+func (w propWorld) build(t *testing.T) (*lsh.Snapshot, []vecmath.Vector) {
 	t.Helper()
 	data := testData(w.N, w.Seed)
-	idx, err := lsh.Build(data, lsh.NewSimHash(w.Seed^0xABCD), w.K, 1)
+	snap, err := lsh.BuildSnapshot(data, lsh.NewSimHash(w.Seed^0xABCD), w.K, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return idx, data
+	return snap, data
 }
 
 // TestPropLSHSSEstimateInRange: for any scenario, LSH-SS returns a finite
@@ -45,7 +45,7 @@ func (w propWorld) build(t *testing.T) (*lsh.Index, []vecmath.Vector) {
 func TestPropLSHSSEstimateInRange(t *testing.T) {
 	f := func(w propWorld) bool {
 		idx, data := w.build(t)
-		e, err := NewLSHSS(idx.Table(0), data, nil)
+		e, err := NewLSHSS(idx, nil)
 		if err != nil {
 			return false
 		}
@@ -66,7 +66,7 @@ func TestPropLSHSSEstimateInRange(t *testing.T) {
 func TestPropDetailConsistency(t *testing.T) {
 	f := func(w propWorld) bool {
 		idx, data := w.build(t)
-		e, err := NewLSHSS(idx.Table(0), data, nil)
+		e, err := NewLSHSS(idx, nil)
 		if err != nil {
 			return false
 		}
@@ -100,12 +100,12 @@ func TestPropDetailConsistency(t *testing.T) {
 // strictly, Ĵ_L(damped) ≥ 0 and Ĵ_H identical).
 func TestPropDampedJHMatchesPlain(t *testing.T) {
 	f := func(w propWorld) bool {
-		idx, data := w.build(t)
-		plain, err := NewLSHSS(idx.Table(0), data, nil)
+		idx, _ := w.build(t)
+		plain, err := NewLSHSS(idx, nil)
 		if err != nil {
 			return false
 		}
-		damped, err := NewLSHSS(idx.Table(0), data, nil, WithDamp(DampAuto, 0))
+		damped, err := NewLSHSS(idx, nil, WithDamp(DampAuto, 0))
 		if err != nil {
 			return false
 		}

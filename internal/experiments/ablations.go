@@ -34,20 +34,19 @@ func (s *Suite) AblationJU() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab := env.Index.Table(0)
 	truths, err := env.Truth(TauTable...)
 	if err != nil {
 		return nil, err
 	}
-	closed, err := core.NewJU(tab, env.Family, core.JUClosedForm)
+	closed, err := core.NewJU(env.Snap, core.JUClosedForm)
 	if err != nil {
 		return nil, err
 	}
-	numeric, err := core.NewJU(tab, env.Family, core.JUNumeric)
+	numeric, err := core.NewJU(env.Snap, core.JUNumeric)
 	if err != nil {
 		return nil, err
 	}
-	lshS, err := core.NewLSHS(tab, env.Family, env.Data.Vectors, 0)
+	lshS, err := core.NewLSHS(env.Snap, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -87,13 +86,11 @@ func (s *Suite) AblationSafeLowerBound() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	data := env.Data.Vectors
-	tab := env.Index.Table(0)
-	safe, err := core.NewLSHSS(tab, data, nil)
+	safe, err := core.NewLSHSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}
-	always, err := core.NewLSHSS(tab, data, nil, core.WithAlwaysScale())
+	always, err := core.NewLSHSS(env.Snap, nil, core.WithAlwaysScale())
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +134,7 @@ func (s *Suite) AblationStratification() (*Table, error) {
 		return nil, err
 	}
 	data := env.Data.Vectors
-	ss, err := core.NewLSHSS(env.Index.Table(0), data, nil)
+	ss, err := core.NewLSHSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -179,16 +176,15 @@ func (s *Suite) AblationMultiTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	data := env.Data.Vectors
-	single, err := core.NewLSHSS(env.Index.Table(0), data, nil)
+	single, err := core.NewLSHSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}
-	median, err := core.NewMedianSS(env.Index, nil)
+	median, err := core.NewMedianSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}
-	virtual, err := core.NewVirtualSS(env.Index, nil)
+	virtual, err := core.NewVirtualSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -231,11 +227,11 @@ func (s *Suite) AblationLC() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lcEst, err := lc.New(env.Data.Vectors, env.Family, lc.Config{K: env.Index.K(), Seed: s.cfg.Seed})
+	lcEst, err := lc.New(env.Data.Vectors, env.Family, lc.Config{K: env.Snap.K(), Seed: s.cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
-	lc50, err := lc.New(env.Data.Vectors, env.Family, lc.Config{K: env.Index.K(), MinSupport: 50, Seed: s.cfg.Seed})
+	lc50, err := lc.New(env.Data.Vectors, env.Family, lc.Config{K: env.Snap.K(), MinSupport: 50, Seed: s.cfg.Seed})
 	if err != nil {
 		return nil, err
 	}

@@ -13,12 +13,11 @@ import (
 // (m_H = m_L = n, δ = log n, m_R = 1.5n).
 func stdEstimators(env *Env) ([]core.Estimator, error) {
 	data := env.Data.Vectors
-	tab := env.Index.Table(0)
-	ss, err := core.NewLSHSS(tab, data, nil)
+	ss, err := core.NewLSHSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}
-	ssd, err := core.NewLSHSS(tab, data, nil, core.WithDamp(core.DampAuto, 0))
+	ssd, err := core.NewLSHSS(env.Snap, nil, core.WithDamp(core.DampAuto, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +113,7 @@ func (s *Suite) Figure9() ([]*Table, error) {
 		return nil, err
 	}
 	data := env.Data.Vectors
-	ss, err := core.NewLSHSS(env.Index.Table(0), data, nil)
+	ss, err := core.NewLSHSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}

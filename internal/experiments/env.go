@@ -27,7 +27,7 @@ var TauTable = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 type Env struct {
 	Data      dataset.Dataset
 	Family    lsh.SimHash
-	Index     *lsh.Index
+	Snap      *lsh.Snapshot // immutable index view all experiments read
 	BuildTime time.Duration
 	GenTime   time.Duration
 
@@ -52,14 +52,14 @@ func NewEnv(kind dataset.Kind, n, k, ell int, seed uint64) (*Env, error) {
 	}
 	fam := lsh.NewSimHash(seed ^ 0x15AB1E)
 	t0 = time.Now()
-	idx, err := lsh.Build(d.Vectors, fam, k, ell)
+	snap, err := lsh.BuildSnapshot(d.Vectors, fam, k, ell)
 	if err != nil {
 		return nil, err
 	}
 	return &Env{
 		Data:      d,
 		Family:    fam,
-		Index:     idx,
+		Snap:      snap,
 		BuildTime: time.Since(t0),
 		GenTime:   genTime,
 		joiner:    exactjoin.NewJoiner(d.Vectors),
@@ -108,7 +108,7 @@ func (e *Env) StratumTruth(t int, taus []float64) map[float64]int64 {
 	sorted := append([]float64(nil), taus...)
 	sort.Float64s(sorted)
 	counts := make([]int64, len(sorted))
-	tab := e.Index.Table(t)
+	tab := e.Snap.Table(t)
 	data := e.Data.Vectors
 	tab.ForEachIntraPair(func(i, j int32) bool {
 		s := vecmath.Cosine(data[i], data[j])
@@ -131,7 +131,7 @@ func (e *Env) StratumTruth(t int, taus []float64) map[float64]int64 {
 
 // Describe summarizes the environment for experiment headers.
 func (e *Env) Describe() string {
-	tab := e.Index.Table(0)
+	tab := e.Snap.Table(0)
 	return fmt.Sprintf("%s: n=%d k=%d ℓ=%d buckets=%d N_H=%d build=%v",
-		e.Data.Name, e.Data.N(), e.Index.K(), e.Index.L(), tab.NumBuckets(), tab.NH(), e.BuildTime.Round(time.Millisecond))
+		e.Data.Name, e.Data.N(), e.Snap.K(), e.Snap.L(), tab.NumBuckets(), tab.NH(), e.BuildTime.Round(time.Millisecond))
 }

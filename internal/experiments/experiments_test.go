@@ -80,8 +80,8 @@ func TestStratumTruthConsistency(t *testing.T) {
 		if jh[tau] > truths[tau] {
 			t.Errorf("τ=%v: J_H=%d exceeds J=%d", tau, jh[tau], truths[tau])
 		}
-		if jh[tau] > env.Index.Table(0).NH() {
-			t.Errorf("τ=%v: J_H=%d exceeds N_H=%d", tau, jh[tau], env.Index.Table(0).NH())
+		if jh[tau] > env.Snap.Table(0).NH() {
+			t.Errorf("τ=%v: J_H=%d exceeds N_H=%d", tau, jh[tau], env.Snap.Table(0).NH())
 		}
 	}
 	if jh[0.3] < jh[0.7] {

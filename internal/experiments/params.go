@@ -33,15 +33,15 @@ func (s *Suite) Figure4() ([]*Table, error) {
 			},
 		}
 		for ki, k := range []int{10, 20, 30, 40, 50} {
-			idx, err := lsh.Build(env.Data.Vectors, env.Family, k, 1)
+			snap, err := lsh.BuildSnapshot(env.Data.Vectors, env.Family, k, 1)
 			if err != nil {
 				return nil, err
 			}
-			ss, err := core.NewLSHSS(idx.Table(0), env.Data.Vectors, nil)
+			ss, err := core.NewLSHSS(snap, nil)
 			if err != nil {
 				return nil, err
 			}
-			lshS, err := core.NewLSHS(idx.Table(0), env.Family, env.Data.Vectors, 0)
+			lshS, err := core.NewLSHS(snap, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -124,14 +124,13 @@ func (s *Suite) Figure56() ([]*Table, error) {
 		return nil, err
 	}
 	data := env.Data.Vectors
-	tab := env.Index.Table(0)
 	n := float64(len(data))
 	logn := math.Log2(n)
 	mk := func(delta int, label string) (sweepPoint, error) {
 		if delta < 1 {
 			delta = 1
 		}
-		e, err := core.NewLSHSS(tab, data, nil, core.WithDelta(delta))
+		e, err := core.NewLSHSS(env.Snap, nil, core.WithDelta(delta))
 		return sweepPoint{label: label, est: e}, err
 	}
 	var pts []sweepPoint
@@ -174,7 +173,6 @@ func (s *Suite) Figure78() ([]*Table, error) {
 		return nil, err
 	}
 	data := env.Data.Vectors
-	tab := env.Index.Table(0)
 	n := float64(len(data))
 	logn := math.Log2(n)
 	specs := []struct {
@@ -194,7 +192,7 @@ func (s *Suite) Figure78() ([]*Table, error) {
 		if m < 2 {
 			m = 2
 		}
-		ss, err := core.NewLSHSS(tab, data, nil, core.WithSampleSizes(m, m))
+		ss, err := core.NewLSHSS(env.Snap, nil, core.WithSampleSizes(m, m))
 		if err != nil {
 			return nil, err
 		}
@@ -223,8 +221,6 @@ func (s *Suite) CsSweep() ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	data := env.Data.Vectors
-	tab := env.Index.Table(0)
 	taus := []float64{0.6, 0.7, 0.8, 0.9}
 	truths, err := env.Truth(taus...)
 	if err != nil {
@@ -235,19 +231,19 @@ func (s *Suite) CsSweep() ([]*Table, error) {
 		est   core.Estimator
 	}
 	var cfgs []cfg
-	plain, err := core.NewLSHSS(tab, data, nil)
+	plain, err := core.NewLSHSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}
 	cfgs = append(cfgs, cfg{"safe lower bound (LSH-SS)", plain})
 	for _, cs := range []float64{0.1, 0.5, 1.0} {
-		e, err := core.NewLSHSS(tab, data, nil, core.WithDamp(core.DampConst, cs))
+		e, err := core.NewLSHSS(env.Snap, nil, core.WithDamp(core.DampConst, cs))
 		if err != nil {
 			return nil, err
 		}
 		cfgs = append(cfgs, cfg{fmt.Sprintf("c_s = %.1f", cs), e})
 	}
-	auto, err := core.NewLSHSS(tab, data, nil, core.WithDamp(core.DampAuto, 0))
+	auto, err := core.NewLSHSS(env.Snap, nil, core.WithDamp(core.DampAuto, 0))
 	if err != nil {
 		return nil, err
 	}

@@ -25,7 +25,7 @@ func (s *Suite) Table1() ([]*Table, error) {
 		return nil, err
 	}
 	jh := env.StratumTruth(0, TauTable)
-	tab := env.Index.Table(0)
+	tab := env.Snap.Table(0)
 	m := float64(tab.M())
 	nh := float64(tab.NH())
 	nl := float64(tab.NL())
@@ -66,7 +66,7 @@ func (s *Suite) JoinSizeTable() ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := float64(env.Index.Table(0).M())
+	m := float64(env.Snap.Table(0).M())
 	out := &Table{
 		ID:      "joinsize",
 		Title:   "§6.2 table: actual join size J and selectivity vs τ (DBLP)",
@@ -124,12 +124,11 @@ func (s *Suite) RuntimeTable() ([]*Table, error) {
 		return nil, err
 	}
 	data := env.Data.Vectors
-	tab := env.Index.Table(0)
-	ss, err := core.NewLSHSS(tab, data, nil)
+	ss, err := core.NewLSHSS(env.Snap, nil)
 	if err != nil {
 		return nil, err
 	}
-	ssd, err := core.NewLSHSS(tab, data, nil, core.WithDamp(core.DampAuto, 0))
+	ssd, err := core.NewLSHSS(env.Snap, nil, core.WithDamp(core.DampAuto, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -141,12 +140,12 @@ func (s *Suite) RuntimeTable() ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lshS, err := core.NewLSHS(tab, env.Family, data, 0)
+	lshS, err := core.NewLSHS(env.Snap, 0)
 	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	lcEst, err := lc.New(data, env.Family, lc.Config{K: env.Index.K(), Seed: s.cfg.Seed})
+	lcEst, err := lc.New(data, env.Family, lc.Config{K: env.Snap.K(), Seed: s.cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +209,7 @@ func (s *Suite) Table2() ([]*Table, error) {
 			return nil, err
 		}
 		jh := env.StratumTruth(0, TauTable)
-		tab := env.Index.Table(0)
+		tab := env.Snap.Table(0)
 		nh, nl := float64(tab.NH()), float64(tab.NL())
 		n := float64(env.Data.N())
 		t := &Table{
@@ -257,7 +256,7 @@ func (s *Suite) BuildTable() ([]*Table, error) {
 		out.Rows = append(out.Rows, []string{
 			env.Data.Name,
 			fint(int64(env.Data.N())),
-			fint(int64(env.Index.K())),
+			fint(int64(env.Snap.K())),
 			fmt.Sprintf("%.1f", cs.AvgNNZ),
 			fint(int64(cs.DistinctDims)),
 			env.GenTime.Round(time.Millisecond).String(),

@@ -13,7 +13,7 @@ import (
 // set of cross pairs whose buckets share a g value, and
 // N_H = Σ b_j·c_i over matching buckets B_j ∈ D_g, C_i ∈ E_g.
 type Bipartite struct {
-	left, right *Index // single-table indexes sharing family, k and fn range
+	left, right *Snapshot // single-table index views sharing family, k and fn range
 	table       int
 	ltab, rtab  *Table
 
@@ -27,9 +27,11 @@ type bucketMatch struct {
 	left, right []int32
 }
 
-// NewBipartite pairs table t of two indexes built with the same family seed,
-// k and ℓ. It validates that the two sides use identical hash functions.
-func NewBipartite(left, right *Index, t int) (*Bipartite, error) {
+// NewBipartite pairs table t of two index snapshots built with the same
+// family seed, k and ℓ. It validates that the two sides use identical hash
+// functions. Like everything snapshot-backed, the matching is immutable and
+// safe for concurrent use.
+func NewBipartite(left, right *Snapshot, t int) (*Bipartite, error) {
 	if left.Family() != right.Family() {
 		return nil, fmt.Errorf("lsh: bipartite requires identical families on both sides")
 	}

@@ -20,11 +20,11 @@ func buildBipartite(t *testing.T) (*Bipartite, []vecmath.Vector, []vecmath.Vecto
 		vecmath.FromDims([]uint32{90, 91, 92}),
 	}
 	family := NewSimHash(7)
-	li, err := Build(left, family, 12, 1)
+	li, err := BuildSnapshot(left, family, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ri, err := Build(right, family, 12, 1)
+	ri, err := BuildSnapshot(right, family, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,16 +37,16 @@ func buildBipartite(t *testing.T) (*Bipartite, []vecmath.Vector, []vecmath.Vecto
 
 func TestBipartiteValidation(t *testing.T) {
 	left := []vecmath.Vector{vecmath.FromDims([]uint32{1})}
-	li, _ := Build(left, NewSimHash(1), 4, 1)
-	ri, _ := Build(left, NewSimHash(2), 4, 1) // different seed → different family value
+	li, _ := BuildSnapshot(left, NewSimHash(1), 4, 1)
+	ri, _ := BuildSnapshot(left, NewSimHash(2), 4, 1) // different seed → different family value
 	if _, err := NewBipartite(li, ri, 0); err == nil {
 		t.Error("mismatched families accepted")
 	}
-	ri2, _ := Build(left, NewSimHash(1), 5, 1)
+	ri2, _ := BuildSnapshot(left, NewSimHash(1), 5, 1)
 	if _, err := NewBipartite(li, ri2, 0); err == nil {
 		t.Error("mismatched k accepted")
 	}
-	ri3, _ := Build(left, NewSimHash(1), 4, 1)
+	ri3, _ := BuildSnapshot(left, NewSimHash(1), 4, 1)
 	if _, err := NewBipartite(li, ri3, 1); err == nil {
 		t.Error("out-of-range table accepted")
 	}
@@ -115,8 +115,8 @@ func TestBipartiteSampleUniform(t *testing.T) {
 
 func TestBipartiteEmptyOverlap(t *testing.T) {
 	family := NewSimHash(3)
-	li, _ := Build([]vecmath.Vector{vecmath.FromDims([]uint32{1, 2})}, family, 32, 1)
-	ri, _ := Build([]vecmath.Vector{vecmath.FromDims([]uint32{500, 501})}, family, 32, 1)
+	li, _ := BuildSnapshot([]vecmath.Vector{vecmath.FromDims([]uint32{1, 2})}, family, 32, 1)
+	ri, _ := BuildSnapshot([]vecmath.Vector{vecmath.FromDims([]uint32{500, 501})}, family, 32, 1)
 	bp, err := NewBipartite(li, ri, 0)
 	if err != nil {
 		t.Fatal(err)

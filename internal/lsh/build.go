@@ -1,0 +1,304 @@
+package lsh
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Shard-parallel table construction (the ROADMAP item "shard-parallel table
+// build"). Bucket insertion used to walk the key slice serially, paying one
+// map operation per vector on a single core. The builder here splits that
+// work by key shard:
+//
+//  1. classify every key into one of tableShards shards (parallel over
+//     fixed-size chunks),
+//  2. stable-scatter the vector ids into per-shard runs, preserving global
+//     id order within each shard (parallel over the same chunks),
+//  3. build each shard's buckets and its base map independently (parallel
+//     over shards),
+//  4. merge: the global bucket order sorts all shard buckets by first
+//     member id — exactly the first-appearance order a serial walk
+//     produces — then shard maps are rewritten to global bucket indices
+//     (parallel over shards).
+//
+// Every intermediate is a pure function of the keys: the shard of a key,
+// the chunk boundaries (fixed buildChunk, never GOMAXPROCS), the scatter
+// positions and the merged order are all worker-count independent, so the
+// resulting table is byte-identical whatever the parallelism — build_test.go
+// asserts this against the workers=1 path.
+
+// buildChunk is the fixed scatter granularity. It must not depend on the
+// worker count: chunk boundaries determine nothing in the output (scatter
+// positions are precomputed per chunk), but keeping them fixed makes the
+// execution schedule itself deterministic and easy to reason about.
+const buildChunk = 8192
+
+// buildSerialCutoff is the table size below which the builder stays on one
+// goroutine: spawning workers costs more than the build itself.
+const buildSerialCutoff = 4096
+
+// buildWorkers picks the worker count for n keys.
+func buildWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 || n < buildSerialCutoff {
+		return 1
+	}
+	return w
+}
+
+// parallelN runs fn(0..n-1) on up to workers goroutines, stealing indices
+// from a shared counter. fn must write only to state owned by its index.
+func parallelN(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scatter partitions [0, n) into tableShards runs by shardOf, preserving
+// ascending id order within each run. It returns the concatenated runs and
+// the start offset of each shard (starts has tableShards+1 entries).
+func scatter(n, workers int, shardOf func(i int) uint8) (idxs []int32, starts []int32) {
+	nch := (n + buildChunk - 1) / buildChunk
+	shards := make([]uint8, n)
+	counts := make([]int32, nch*tableShards)
+	parallelN(nch, workers, func(c int) {
+		lo, hi := c*buildChunk, (c+1)*buildChunk
+		if hi > n {
+			hi = n
+		}
+		row := counts[c*tableShards : (c+1)*tableShards]
+		for i := lo; i < hi; i++ {
+			s := shardOf(i)
+			shards[i] = s
+			row[s]++
+		}
+	})
+	starts = make([]int32, tableShards+1)
+	for s := 0; s < tableShards; s++ {
+		var tot int32
+		for c := 0; c < nch; c++ {
+			tot += counts[c*tableShards+s]
+		}
+		starts[s+1] = starts[s] + tot
+	}
+	// Rewrite counts in place into per-(chunk, shard) write positions.
+	for s := 0; s < tableShards; s++ {
+		pos := starts[s]
+		for c := 0; c < nch; c++ {
+			pos, counts[c*tableShards+s] = pos+counts[c*tableShards+s], pos
+		}
+	}
+	idxs = make([]int32, n)
+	parallelN(nch, workers, func(c int) {
+		lo, hi := c*buildChunk, (c+1)*buildChunk
+		if hi > n {
+			hi = n
+		}
+		row := counts[c*tableShards : (c+1)*tableShards]
+		for i := lo; i < hi; i++ {
+			s := shards[i]
+			idxs[row[s]] = int32(i)
+			row[s]++
+		}
+	})
+	return idxs, starts
+}
+
+// mergeShardBuckets flattens per-shard bucket lists into the global bucket
+// order (ascending first member id — the serial first-appearance order) and
+// returns, per shard, the global index of each of its buckets.
+func mergeShardBuckets(sb [][]*bucket, narrow bool) (order []*bucket, globals [][]int32) {
+	total := 0
+	for _, bks := range sb {
+		total += len(bks)
+	}
+	order = make([]*bucket, 0, total)
+	for _, bks := range sb {
+		order = append(order, bks...)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].ids[0] < order[b].ids[0] })
+	globals = make([][]int32, tableShards)
+	for s, bks := range sb {
+		if len(bks) > 0 {
+			globals[s] = make([]int32, 0, len(bks))
+		}
+	}
+	// Shard bucket lists are themselves sorted by first id, so appending in
+	// global order recovers each shard's local order.
+	for gi, b := range order {
+		var s int
+		if narrow {
+			s = shard64(b.key64)
+		} else {
+			s = shardStr(b.keyStr)
+		}
+		globals[s] = append(globals[s], int32(gi))
+	}
+	return order, globals
+}
+
+// newTable64 builds a narrow-mode table over pre-computed uint64 bucket keys
+// (one per vector), in parallel for large inputs.
+func newTable64(keys []uint64, k, fnBase, bits int) *Table {
+	return buildTable64(keys, k, fnBase, bits, buildWorkers(len(keys)))
+}
+
+// buildTable64 is newTable64 with an explicit worker count (build_test.go
+// compares workers=1 against workers>1). workers=1 takes the direct serial
+// walk — one pass, first-appearance bucket order by construction; workers>1
+// takes the scatter/merge pipeline, which reproduces that order exactly.
+func buildTable64(keys []uint64, k, fnBase, bits, workers int) *Table {
+	t := &Table{
+		k: k, fnBase: fnBase, n: len(keys), bits: bits, narrow: true,
+		keys64: keys,
+		base64: make([]map[uint64]int32, tableShards),
+	}
+	if workers <= 1 {
+		for i, key := range keys {
+			s := shard64(key)
+			m := t.base64[s]
+			if m == nil {
+				m = make(map[uint64]int32)
+				t.base64[s] = m
+			}
+			bi, ok := m[key]
+			if !ok {
+				bi = int32(len(t.order))
+				m[key] = bi
+				t.order = append(t.order, &bucket{key64: key})
+			}
+			b := t.order[bi]
+			b.ids = append(b.ids, int32(i))
+		}
+		t.nbase = len(t.order)
+		t.freeze()
+		return t
+	}
+	idxs, starts := scatter(len(keys), workers, func(i int) uint8 { return uint8(shard64(keys[i])) })
+	sb := make([][]*bucket, tableShards)
+	parallelN(tableShards, workers, func(s int) {
+		lo, hi := starts[s], starts[s+1]
+		if lo == hi {
+			return
+		}
+		m := make(map[uint64]int32, int(hi-lo)/2+1)
+		var bks []*bucket
+		for _, i := range idxs[lo:hi] {
+			key := keys[i]
+			li, ok := m[key]
+			if !ok {
+				li = int32(len(bks))
+				m[key] = li
+				bks = append(bks, &bucket{key64: key})
+			}
+			b := bks[li]
+			b.ids = append(b.ids, i)
+		}
+		t.base64[s] = m
+		sb[s] = bks
+	})
+	order, globals := mergeShardBuckets(sb, true)
+	t.order = order
+	parallelN(tableShards, workers, func(s int) {
+		for local, b := range sb[s] {
+			t.base64[s][b.key64] = globals[s][local]
+		}
+	})
+	t.nbase = len(t.order)
+	t.freeze()
+	return t
+}
+
+// newTableStr builds a wide-mode table over pre-computed string bucket keys,
+// in parallel for large inputs.
+func newTableStr(keys []string, k, fnBase, bits int) *Table {
+	return buildTableStr(keys, k, fnBase, bits, buildWorkers(len(keys)))
+}
+
+// buildTableStr is newTableStr with an explicit worker count; see
+// buildTable64 for the serial/parallel split.
+func buildTableStr(keys []string, k, fnBase, bits, workers int) *Table {
+	t := &Table{
+		k: k, fnBase: fnBase, n: len(keys), bits: bits, narrow: false,
+		keysStr: keys,
+		baseStr: make([]map[string]int32, tableShards),
+	}
+	if workers <= 1 {
+		for i, key := range keys {
+			s := shardStr(key)
+			m := t.baseStr[s]
+			if m == nil {
+				m = make(map[string]int32)
+				t.baseStr[s] = m
+			}
+			bi, ok := m[key]
+			if !ok {
+				bi = int32(len(t.order))
+				m[key] = bi
+				t.order = append(t.order, &bucket{keyStr: key})
+			}
+			b := t.order[bi]
+			b.ids = append(b.ids, int32(i))
+		}
+		t.nbase = len(t.order)
+		t.freeze()
+		return t
+	}
+	idxs, starts := scatter(len(keys), workers, func(i int) uint8 { return uint8(shardStr(keys[i])) })
+	sb := make([][]*bucket, tableShards)
+	parallelN(tableShards, workers, func(s int) {
+		lo, hi := starts[s], starts[s+1]
+		if lo == hi {
+			return
+		}
+		m := make(map[string]int32, int(hi-lo)/2+1)
+		var bks []*bucket
+		for _, i := range idxs[lo:hi] {
+			key := keys[i]
+			li, ok := m[key]
+			if !ok {
+				li = int32(len(bks))
+				m[key] = li
+				bks = append(bks, &bucket{keyStr: key})
+			}
+			b := bks[li]
+			b.ids = append(b.ids, i)
+		}
+		t.baseStr[s] = m
+		sb[s] = bks
+	})
+	order, globals := mergeShardBuckets(sb, false)
+	t.order = order
+	parallelN(tableShards, workers, func(s int) {
+		for local, b := range sb[s] {
+			t.baseStr[s][b.keyStr] = globals[s][local]
+		}
+	})
+	t.nbase = len(t.order)
+	t.freeze()
+	return t
+}

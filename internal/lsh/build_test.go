@@ -1,0 +1,127 @@
+package lsh
+
+import (
+	"testing"
+
+	"lshjoin/internal/xrand"
+)
+
+// tablesEqual deep-compares every observable of two tables: per-vector keys,
+// bucket order and membership, N_H, prefix sums, and lookups for every key.
+func tablesEqual(t *testing.T, a, b *Table) {
+	t.Helper()
+	if a.N() != b.N() || a.K() != b.K() || a.FnBase() != b.FnBase() || a.Narrow() != b.Narrow() {
+		t.Fatalf("table shape differs: n=%d/%d k=%d/%d", a.N(), b.N(), a.K(), b.K())
+	}
+	if a.NH() != b.NH() || a.NumBuckets() != b.NumBuckets() {
+		t.Fatalf("NH %d vs %d, buckets %d vs %d", a.NH(), b.NH(), a.NumBuckets(), b.NumBuckets())
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.KeyOf(i) != b.KeyOf(i) {
+			t.Fatalf("vector %d: key mismatch", i)
+		}
+	}
+	for bi := range a.order {
+		ba, bb := a.order[bi], b.order[bi]
+		if ba.keyString(a.narrow) != bb.keyString(b.narrow) {
+			t.Fatalf("bucket %d: key %q vs %q", bi, ba.keyString(a.narrow), bb.keyString(b.narrow))
+		}
+		if len(ba.ids) != len(bb.ids) {
+			t.Fatalf("bucket %d: %d vs %d members", bi, len(ba.ids), len(bb.ids))
+		}
+		for x := range ba.ids {
+			if ba.ids[x] != bb.ids[x] {
+				t.Fatalf("bucket %d member %d: id %d vs %d", bi, x, ba.ids[x], bb.ids[x])
+			}
+		}
+		if a.cum[bi] != b.cum[bi] {
+			t.Fatalf("bucket %d: cum %d vs %d", bi, a.cum[bi], b.cum[bi])
+		}
+	}
+	for i := 0; i < a.N(); i++ {
+		key := a.KeyOf(i)
+		ia := a.BucketIDs(key)
+		ib := b.BucketIDs(key)
+		if len(ia) == 0 || len(ia) != len(ib) || ia[0] != ib[0] {
+			t.Fatalf("lookup of key of vector %d disagrees", i)
+		}
+	}
+}
+
+// TestParallelBuild64MatchesSerial: the shard-parallel narrow-mode builder
+// must be byte-identical to the workers=1 path for the same keys.
+func TestParallelBuild64MatchesSerial(t *testing.T) {
+	rng := xrand.New(401)
+	for _, n := range []int{1, 7, 100, buildChunk - 1, buildChunk + 1, 3 * buildChunk} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			// ~n/3 distinct values so buckets have real membership lists.
+			keys[i] = rng.Uint64n(uint64(n)/3 + 1)
+		}
+		serial := buildTable64(append([]uint64(nil), keys...), 8, 0, 1, 1)
+		for _, workers := range []int{2, 3, 8} {
+			par := buildTable64(append([]uint64(nil), keys...), 8, 0, 1, workers)
+			tablesEqual(t, serial, par)
+		}
+	}
+}
+
+// TestParallelBuildStrMatchesSerial mirrors the wide-mode path.
+func TestParallelBuildStrMatchesSerial(t *testing.T) {
+	rng := xrand.New(403)
+	n := 2*buildChunk + 17
+	vals := make([]uint64, 70)
+	keys := make([]string, n)
+	for i := range keys {
+		for j := range vals {
+			vals[j] = 0
+		}
+		// A couple of low-entropy slots so keys collide into shared buckets.
+		vals[0] = rng.Uint64n(40)
+		vals[69] = rng.Uint64n(7)
+		keys[i] = packKey(vals, 1)
+	}
+	serial := buildTableStr(append([]string(nil), keys...), 70, 0, 1, 1)
+	for _, workers := range []int{2, 8} {
+		par := buildTableStr(append([]string(nil), keys...), 70, 0, 1, workers)
+		tablesEqual(t, serial, par)
+	}
+}
+
+// TestParallelBuildFirstAppearanceOrder pins the bucket-order contract the
+// samplers rely on: order[i] buckets appear by ascending first member id.
+func TestParallelBuildFirstAppearanceOrder(t *testing.T) {
+	rng := xrand.New(405)
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64n(700)
+	}
+	tab := buildTable64(keys, 8, 0, 1, 4)
+	prev := int32(-1)
+	for bi, b := range tab.order {
+		if len(b.ids) == 0 {
+			t.Fatalf("bucket %d empty", bi)
+		}
+		if b.ids[0] <= prev {
+			t.Fatalf("bucket %d: first id %d not after %d", bi, b.ids[0], prev)
+		}
+		prev = b.ids[0]
+	}
+}
+
+// TestBuildThroughIndexMatchesForcedWorkers: a real SimHash build (which
+// routes through newTable64 with auto worker count) matches an explicitly
+// serial table construction of the same signatures.
+func TestBuildThroughIndexMatchesForcedWorkers(t *testing.T) {
+	data := randData(6000, 800, 10, 407)
+	fam := NewSimHash(408)
+	snap, err := BuildSnapshot(data, fam, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := newEngine(fam, 16, 2).sign(data)
+	for ti := 0; ti < 2; ti++ {
+		serial := buildTable64(sigs.u64[ti], 16, ti*16, 1, 1)
+		tablesEqual(t, serial, snap.Table(ti))
+	}
+}

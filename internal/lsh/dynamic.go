@@ -3,99 +3,197 @@ package lsh
 import "lshjoin/internal/vecmath"
 
 // Dynamic maintenance: the paper pitches the estimator as "minimal addition
-// to the existing LSH index", and existing LSH indexes grow as applications
-// ingest vectors. Insert keeps the bucket counts and N_H that estimation
-// depends on exact under appends; the weighted-sampling prefix sums are
-// rebuilt lazily on the next SamplePair.
+// to the existing LSH index", and existing LSH indexes grow while they serve
+// reads. Insert and InsertBatch append hashed vectors to a pending delta;
+// Snapshot merges the delta into a fresh immutable version — keeping bucket
+// counts and N_H exact — and publishes it atomically. Readers (queries,
+// samplers, estimators) are never invalidated: whatever Snapshot they hold
+// keeps answering over its own version, and new readers pick up the merged
+// version lock-free.
 //
-// Indexes are not safe for concurrent mutation; synchronize externally if
-// estimating while inserting. Estimators constructed before an Insert hold a
-// snapshot of the data slice and must be rebuilt to see new vectors.
+// A merge is copy-on-write: the new version shares every untouched bucket,
+// the base lookup maps and the key-array backing with its predecessor, and
+// copies only the bucket-order slice, the buckets the delta touches, and
+// the small overlay map of buckets created since the base build. Appends to
+// shared backing arrays are safe because exactly one writer extends them
+// (serialized by Index.mu) and readers of older versions never index past
+// their own length.
 
-// insert64 appends one pre-hashed vector to a narrow-mode table, maintaining
-// N_H incrementally (adding to a bucket of size b creates b new co-located
-// pairs) and deferring the cumulative-weight rebuild.
-func (t *Table) insert64(key uint64) {
-	t.keys64 = append(t.keys64, key)
-	bi, ok := t.idx64[key]
-	if !ok {
-		bi = int32(len(t.order))
-		t.idx64[key] = bi
-		t.order = append(t.order, &bucket{key64: key})
+// merge64 returns a new narrow-mode table extending t with the pending
+// bucket keys, leaving t untouched for its readers.
+func (t *Table) merge64(keys []uint64) *Table {
+	nt := &Table{
+		k: t.k, fnBase: t.fnBase, n: t.n + len(keys), bits: t.bits, narrow: true,
+		keys64: append(t.keys64, keys...),
+		base64: t.base64,
+		nbase:  t.nbase,
+		ovl64:  t.ovl64,
+		nh:     t.nh,
 	}
-	b := t.order[bi]
-	t.nh += int64(len(b.ids))
-	b.ids = append(b.ids, int32(t.n))
-	t.n++
-	t.dirty = true
+	nt.order = make([]*bucket, len(t.order), len(t.order)+len(keys))
+	copy(nt.order, t.order)
+	ovlCopied := false
+	for i, key := range keys {
+		id := int32(t.n + i)
+		bi, ok := nt.bucketIndex64(key)
+		if !ok {
+			if !ovlCopied {
+				m := make(map[uint64]int32, len(t.ovl64)+len(keys)-i)
+				for k2, v2 := range t.ovl64 {
+					m[k2] = v2
+				}
+				nt.ovl64 = m
+				ovlCopied = true
+			}
+			bi = int32(len(nt.order))
+			nt.ovl64[key] = bi
+			nt.order = append(nt.order, &bucket{key64: key})
+		}
+		b := nt.order[bi]
+		if int(bi) < len(t.order) && b == t.order[bi] {
+			// First touch of a shared bucket: copy-on-write its header so
+			// readers of t keep their length.
+			b = &bucket{key64: b.key64, ids: b.ids}
+			nt.order[bi] = b
+		}
+		nt.nh += int64(len(b.ids)) // joining a bucket of size b adds b pairs
+		b.ids = append(b.ids, id)
+	}
+	nt.maybeCompact()
+	nt.freeze()
+	return nt
 }
 
-// insertStr is insert64 for wide-mode tables.
-func (t *Table) insertStr(key string) {
-	t.keysStr = append(t.keysStr, key)
-	bi, ok := t.idxStr[key]
-	if !ok {
-		bi = int32(len(t.order))
-		t.idxStr[key] = bi
-		t.order = append(t.order, &bucket{keyStr: key})
+// mergeStr is merge64 for wide-mode tables.
+func (t *Table) mergeStr(keys []string) *Table {
+	nt := &Table{
+		k: t.k, fnBase: t.fnBase, n: t.n + len(keys), bits: t.bits, narrow: false,
+		keysStr: append(t.keysStr, keys...),
+		baseStr: t.baseStr,
+		nbase:   t.nbase,
+		ovlStr:  t.ovlStr,
+		nh:      t.nh,
 	}
-	b := t.order[bi]
-	t.nh += int64(len(b.ids))
-	b.ids = append(b.ids, int32(t.n))
-	t.n++
-	t.dirty = true
+	nt.order = make([]*bucket, len(t.order), len(t.order)+len(keys))
+	copy(nt.order, t.order)
+	ovlCopied := false
+	for i, key := range keys {
+		id := int32(t.n + i)
+		bi, ok := nt.bucketIndexStr(key)
+		if !ok {
+			if !ovlCopied {
+				m := make(map[string]int32, len(t.ovlStr)+len(keys)-i)
+				for k2, v2 := range t.ovlStr {
+					m[k2] = v2
+				}
+				nt.ovlStr = m
+				ovlCopied = true
+			}
+			bi = int32(len(nt.order))
+			nt.ovlStr[key] = bi
+			nt.order = append(nt.order, &bucket{keyStr: key})
+		}
+		b := nt.order[bi]
+		if int(bi) < len(t.order) && b == t.order[bi] {
+			b = &bucket{keyStr: b.keyStr, ids: b.ids}
+			nt.order[bi] = b
+		}
+		nt.nh += int64(len(b.ids))
+		b.ids = append(b.ids, id)
+	}
+	nt.maybeCompact()
+	nt.freeze()
+	return nt
 }
 
-// ensureFrozen rebuilds the sampling prefix sums if inserts invalidated them.
-func (t *Table) ensureFrozen() {
-	if t.dirty {
-		t.freeze()
-		t.dirty = false
+// maybeCompact folds the overlay into fresh sharded base maps once it has
+// outgrown its role as a small delta, keeping lookups near one map probe.
+func (t *Table) maybeCompact() {
+	ovl := len(t.ovl64) + len(t.ovlStr)
+	if ovl <= 256 || ovl*4 <= t.nbase {
+		return
 	}
+	if t.narrow {
+		base := make([]map[uint64]int32, tableShards)
+		for gi, b := range t.order {
+			s := shard64(b.key64)
+			if base[s] == nil {
+				base[s] = make(map[uint64]int32)
+			}
+			base[s][b.key64] = int32(gi)
+		}
+		t.base64, t.ovl64 = base, nil
+	} else {
+		base := make([]map[string]int32, tableShards)
+		for gi, b := range t.order {
+			s := shardStr(b.keyStr)
+			if base[s] == nil {
+				base[s] = make(map[string]int32)
+			}
+			base[s][b.keyStr] = int32(gi)
+		}
+		t.baseStr, t.ovlStr = base, nil
+	}
+	t.nbase = len(t.order)
 }
 
-// Insert hashes v into every table and appends it to the indexed collection,
-// returning its id. Cost: ℓ·k hash evaluations plus O(1) bucket updates; the
-// next SamplePair on each table pays one O(#buckets) prefix-sum rebuild. In
-// narrow-key mode no strings are allocated.
+// Insert hashes v into every table's pending delta and logically appends it
+// to the collection, returning its id. Cost: ℓ·k hash evaluations plus O(1)
+// appends; the mutation becomes visible to new readers at the next Snapshot
+// (which the Index read methods take automatically). In narrow-key mode no
+// strings are allocated. Safe for concurrent use with readers and other
+// writers.
 func (x *Index) Insert(v vecmath.Vector) int {
-	id := len(x.data)
-	x.data = append(x.data, v)
-	vals := make([]uint64, x.k)
-	narrow := x.narrow()
-	for t := 0; t < x.ell; t++ {
-		x.hashInto(t, v, vals)
-		if narrow {
-			x.tables[t].insert64(packWord(vals, x.family.Bits()))
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.cur.Load()
+	if len(x.scratch) < cur.k {
+		x.scratch = make([]uint64, cur.k)
+	}
+	vals := x.scratch[:cur.k]
+	id := cur.N() + len(x.pendData)
+	x.pendData = append(x.pendData, v)
+	bits := cur.family.Bits()
+	for t := 0; t < cur.ell; t++ {
+		cur.hashInto(t, v, vals)
+		if cur.narrow {
+			x.pend64[t] = append(x.pend64[t], packWord(vals, bits))
 		} else {
-			x.tables[t].insertStr(packKey(vals, x.family.Bits()))
+			x.pendStr[t] = append(x.pendStr[t], packKey(vals, bits))
 		}
 	}
+	x.npend.Add(1)
 	return id
 }
 
 // InsertBatch inserts vectors in order and returns the id of the first. The
 // batch is signed by the signature engine — keyed-stream rows shared by the
 // batch are computed once, and signing runs in parallel — so bulk loading
-// costs far less than len(vs) repeated Inserts.
+// costs far less than len(vs) repeated Inserts. Like Insert, the batch lands
+// in the pending delta and is published by the next Snapshot.
 func (x *Index) InsertBatch(vs []vecmath.Vector) int {
-	first := len(x.data)
+	// Sign outside the writer lock: the signatures are a pure function of
+	// (family, k, ℓ, vs) — all version-invariant — so a long batch never
+	// stalls readers that publish, only the final appends serialize.
+	cur := x.cur.Load()
+	var sigs *signatures
+	if len(vs) > 0 {
+		sigs = newEngine(cur.family, cur.k, cur.ell).sign(vs)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	first := x.cur.Load().N() + len(x.pendData)
 	if len(vs) == 0 {
 		return first
 	}
-	x.data = append(x.data, vs...)
-	sigs := newEngine(x.family, x.k, x.ell).sign(vs)
-	for t := 0; t < x.ell; t++ {
-		tab := x.tables[t]
+	x.pendData = append(x.pendData, vs...)
+	for t := 0; t < cur.ell; t++ {
 		if sigs.narrow {
-			for _, key := range sigs.u64[t] {
-				tab.insert64(key)
-			}
+			x.pend64[t] = append(x.pend64[t], sigs.u64[t]...)
 		} else {
-			for _, key := range sigs.str[t] {
-				tab.insertStr(key)
-			}
+			x.pendStr[t] = append(x.pendStr[t], sigs.str[t]...)
 		}
 	}
+	x.npend.Add(int64(len(vs)))
 	return first
 }

@@ -42,23 +42,26 @@ func TestInsertEquivalentToRebuild(t *testing.T) {
 	}
 }
 
-// TestInsertMaintainsNHIncrementally: N_H after each insert equals the
-// enumeration count, and lazily rebuilt sampling still works.
+// TestInsertMaintainsNHIncrementally: N_H in each published version equals
+// the enumeration count over that version, and sampling works against the
+// merged tables. (Tables are immutable now, so each iteration re-fetches
+// the latest version via Index.Table.)
 func TestInsertMaintainsNH(t *testing.T) {
 	data := randData(80, 30, 6, 73)
 	idx, err := Build(data[:40], NewSimHash(74), 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab := idx.Table(0)
 	for _, v := range data[40:] {
 		idx.Insert(v)
+		tab := idx.Table(0) // publishes the pending insert
 		var count int64
 		tab.ForEachIntraPair(func(i, j int32) bool { count++; return true })
 		if count != tab.NH() {
 			t.Fatalf("after insert: NH=%d but enumeration finds %d", tab.NH(), count)
 		}
 	}
+	tab := idx.Table(0)
 	if tab.NH() == 0 {
 		t.Skip("degenerate bucket structure")
 	}

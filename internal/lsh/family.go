@@ -30,6 +30,15 @@
 // BucketIDs and ForEachBucket always speak the canonical string form;
 // SameBucket, Query and the bipartite matcher use word compares in narrow
 // mode.
+//
+// # Snapshots
+//
+// Mutation is separated from reading: Index owns a pending delta that
+// Insert/InsertBatch append to, and Snapshot merges the delta into a fresh
+// immutable Snapshot published by one atomic pointer store (snapshot.go,
+// dynamic.go). Tables are frozen at publication and never mutated, so
+// queries, sampling and estimators run lock-free against whatever version
+// they hold.
 package lsh
 
 import (

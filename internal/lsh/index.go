@@ -3,6 +3,7 @@ package lsh
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"lshjoin/internal/vecmath"
 )
@@ -11,25 +12,36 @@ import (
 // concatenation of k hash functions from a Family. Table t uses hash
 // functions [t·k, (t+1)·k), so tables are mutually independent.
 //
-// The index keeps a reference to the vector collection it was built over;
-// estimators address vectors by their position in that slice.
+// The index separates a mutable write side from immutable read views.
+// Insert and InsertBatch only append to a pending delta (hashed vectors and
+// their bucket keys); Snapshot merges the delta into a fresh immutable
+// Snapshot and publishes it with a single atomic pointer store. Readers
+// therefore never observe a half-applied mutation: they either run against
+// the version they already hold, or pick up the latest published version,
+// lock-free, via Current. All methods are safe for concurrent use; writers
+// are serialized by an internal mutex.
+//
+// The convenience read methods on Index (Query, Search, Table, ...) publish
+// any pending delta first, preserving read-your-writes for single-goroutine
+// callers. Concurrent readers that want stable, lock-free views should hold
+// a *Snapshot instead.
 type Index struct {
-	family Family
-	k, ell int
-	data   []vecmath.Vector
-	tables []*Table
+	mu    sync.Mutex // serializes Insert / InsertBatch / publish
+	cur   atomic.Pointer[Snapshot]
+	npend atomic.Int64 // vectors in the pending delta
 
-	// qpool recycles Query working state (hash scratch + epoch-stamped
-	// visited array) so candidate retrieval allocates no map per call while
-	// staying safe for concurrent Query callers.
-	qpool sync.Pool
+	pendData []vecmath.Vector
+	pend64   [][]uint64 // narrow mode: pending bucket keys, [table][i]
+	pendStr  [][]string // wide mode
+	scratch  []uint64   // per-writer hash scratch (guarded by mu)
 }
 
 // Build hashes every vector of data into ℓ tables of k concatenated hash
 // functions each, through the batched signature engine (see engine.go):
 // keyed-stream rows are materialized once per distinct dimension and vector
-// signing is parallelized. The result is deterministic for a given family
-// seed, independent of GOMAXPROCS.
+// signing is parallelized, as is bucket construction (see build.go). The
+// result is deterministic for a given family seed, independent of
+// GOMAXPROCS.
 func Build(data []vecmath.Vector, family Family, k, ell int) (*Index, error) {
 	if err := validateParams(family, k, ell); err != nil {
 		return nil, err
@@ -37,156 +49,135 @@ func Build(data []vecmath.Vector, family Family, k, ell int) (*Index, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("lsh: empty vector collection")
 	}
-	idx := &Index{family: family, k: k, ell: ell, data: data}
 	sigs := newEngine(family, k, ell).sign(data)
-	idx.tables = make([]*Table, ell)
-	for t := 0; t < ell; t++ {
-		idx.tables[t] = sigs.table(t, k, t*k, family.Bits())
+	// Clamp capacity so later delta merges can never append into spare
+	// capacity of the caller's slice (which would overwrite caller-owned
+	// elements past the indexed prefix).
+	data = data[:len(data):len(data)]
+	snap := &Snapshot{
+		version: 1,
+		family:  family,
+		k:       k,
+		ell:     ell,
+		narrow:  isNarrow(k, family.Bits()),
+		data:    data,
+		tables:  make([]*Table, ell),
+		pool:    &sync.Pool{},
 	}
-	return idx, nil
+	for t := 0; t < ell; t++ {
+		snap.tables[t] = sigs.table(t, k, t*k, family.Bits())
+	}
+	x := &Index{}
+	if snap.narrow {
+		x.pend64 = make([][]uint64, ell)
+	} else {
+		x.pendStr = make([][]string, ell)
+	}
+	x.cur.Store(snap)
+	return x, nil
+}
+
+// BuildSnapshot builds an index and returns its initial immutable view, for
+// callers that only ever read (estimator probes, bipartite joins).
+func BuildSnapshot(data []vecmath.Vector, family Family, k, ell int) (*Snapshot, error) {
+	x, err := Build(data, family, k, ell)
+	if err != nil {
+		return nil, err
+	}
+	return x.Current(), nil
+}
+
+// Current returns the latest published snapshot without publishing pending
+// inserts. It never blocks.
+func (x *Index) Current() *Snapshot { return x.cur.Load() }
+
+// Snapshot publishes any pending inserts as a new immutable version and
+// returns it. With no pending delta this is one atomic load. The merge cost
+// is O(#buckets) per table (prefix sums and the copied bucket order) plus
+// O(delta); batches of inserts between snapshots amortize it.
+func (x *Index) Snapshot() *Snapshot {
+	if x.npend.Load() == 0 {
+		return x.cur.Load()
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.publishLocked()
+}
+
+// publishLocked merges the pending delta into the current snapshot and
+// atomically swaps the result in. Callers must hold x.mu.
+func (x *Index) publishLocked() *Snapshot {
+	cur := x.cur.Load()
+	if len(x.pendData) == 0 {
+		return cur
+	}
+	next := &Snapshot{
+		version: cur.version + 1,
+		family:  cur.family,
+		k:       cur.k,
+		ell:     cur.ell,
+		narrow:  cur.narrow,
+		data:    append(cur.data, x.pendData...),
+		tables:  make([]*Table, cur.ell),
+		pool:    cur.pool,
+	}
+	for t := range next.tables {
+		if cur.narrow {
+			next.tables[t] = cur.tables[t].merge64(x.pend64[t])
+			x.pend64[t] = x.pend64[t][:0]
+		} else {
+			next.tables[t] = cur.tables[t].mergeStr(x.pendStr[t])
+			x.pendStr[t] = x.pendStr[t][:0]
+		}
+	}
+	x.pendData = x.pendData[:0]
+	x.cur.Store(next)
+	x.npend.Store(0)
+	return next
 }
 
 // Family returns the hash family the index was built with.
-func (x *Index) Family() Family { return x.family }
+func (x *Index) Family() Family { return x.Current().family }
 
 // K returns the number of hash functions per table.
-func (x *Index) K() int { return x.k }
+func (x *Index) K() int { return x.Current().k }
 
 // L returns the number of tables ℓ.
-func (x *Index) L() int { return x.ell }
+func (x *Index) L() int { return x.Current().ell }
 
-// N returns the number of indexed vectors.
-func (x *Index) N() int { return len(x.data) }
+// N returns the number of indexed vectors, including pending inserts (which
+// it publishes).
+func (x *Index) N() int { return x.Snapshot().N() }
 
-// Data returns the indexed vector collection. Callers must not modify it.
-func (x *Index) Data() []vecmath.Vector { return x.data }
+// Data returns the indexed vector collection at the latest version
+// (publishing pending inserts). Callers must not modify it.
+func (x *Index) Data() []vecmath.Vector { return x.Snapshot().data }
 
-// Table returns table t (0-based).
-func (x *Index) Table(t int) *Table { return x.tables[t] }
+// Table returns table t (0-based) at the latest version.
+func (x *Index) Table(t int) *Table { return x.Snapshot().tables[t] }
 
-// Tables returns all ℓ tables.
-func (x *Index) Tables() []*Table { return x.tables }
+// Tables returns all ℓ tables at the latest version.
+func (x *Index) Tables() []*Table { return x.Snapshot().tables }
 
-// narrow reports whether the index's tables use machine-word keys.
-func (x *Index) narrow() bool { return isNarrow(x.k, x.family.Bits()) }
-
-// hashInto fills vals with the k hash values of v for table t.
-func (x *Index) hashInto(t int, v vecmath.Vector, vals []uint64) {
-	base := t * x.k
-	for j := 0; j < x.k; j++ {
-		vals[j] = x.family.Hash(base+j, v)
-	}
-}
-
-// KeyFor computes the bucket key of an arbitrary (possibly out-of-index)
-// vector in table t, in canonical string form, for use by similarity search
-// and bipartite joins.
-func (x *Index) KeyFor(t int, v vecmath.Vector) string {
-	vals := make([]uint64, x.k)
-	x.hashInto(t, v, vals)
-	return packKey(vals, x.family.Bits())
-}
+// KeyFor computes the bucket key of an arbitrary vector in table t at the
+// latest version; see Snapshot.KeyFor.
+func (x *Index) KeyFor(t int, v vecmath.Vector) string { return x.Snapshot().KeyFor(t, v) }
 
 // SameAnyBucket reports whether vectors i and j share a bucket in at least
-// one of the ℓ tables — the "virtual bucket" membership test of App. B.2.1.
-func (x *Index) SameAnyBucket(i, j int) bool {
-	for _, t := range x.tables {
-		if t.SameBucket(i, j) {
-			return true
-		}
-	}
-	return false
-}
+// one table at the latest version.
+func (x *Index) SameAnyBucket(i, j int) bool { return x.Snapshot().SameAnyBucket(i, j) }
 
 // BucketMultiplicity returns the number of tables in which vectors i and j
-// share a bucket (0..ℓ).
-func (x *Index) BucketMultiplicity(i, j int) int {
-	m := 0
-	for _, t := range x.tables {
-		if t.SameBucket(i, j) {
-			m++
-		}
-	}
-	return m
-}
+// share a bucket (0..ℓ) at the latest version.
+func (x *Index) BucketMultiplicity(i, j int) int { return x.Snapshot().BucketMultiplicity(i, j) }
 
-// visitState is the reusable Query working set: k hash values and an
-// epoch-stamped visited array (stamp[id] == epoch marks id as emitted this
-// query), replacing a per-call map[int32]struct{}.
-type visitState struct {
-	vals  []uint64
-	stamp []uint32
-	epoch uint32
-}
-
-func (x *Index) getVisit() *visitState {
-	vs, _ := x.qpool.Get().(*visitState)
-	if vs == nil {
-		vs = &visitState{}
-	}
-	if len(vs.vals) < x.k {
-		vs.vals = make([]uint64, x.k)
-	}
-	if len(vs.stamp) < len(x.data) {
-		vs.stamp = make([]uint32, len(x.data))
-		vs.epoch = 0
-	}
-	vs.epoch++
-	if vs.epoch == 0 { // wrapped: stale stamps could collide, reset
-		for i := range vs.stamp {
-			vs.stamp[i] = 0
-		}
-		vs.epoch = 1
-	}
-	return vs
-}
-
-// Query returns the ids of all vectors sharing a bucket with v in any table,
-// excluding duplicates — the standard LSH candidate-retrieval operation the
-// index exists for. The order is deterministic (first table, bucket order).
-func (x *Index) Query(v vecmath.Vector) []int32 {
-	vs := x.getVisit()
-	vals := vs.vals[:x.k]
-	narrow := x.narrow()
-	bits := x.family.Bits()
-	var out []int32
-	for t := 0; t < x.ell; t++ {
-		x.hashInto(t, v, vals)
-		var ids []int32
-		if narrow {
-			ids = x.tables[t].bucket64(packWord(vals, bits))
-		} else {
-			ids = x.tables[t].BucketIDs(packKey(vals, bits))
-		}
-		for _, id := range ids {
-			if vs.stamp[id] != vs.epoch {
-				vs.stamp[id] = vs.epoch
-				out = append(out, id)
-			}
-		}
-	}
-	x.qpool.Put(vs)
-	return out
-}
+// Query returns the ids of all vectors sharing a bucket with v in any table
+// at the latest version; see Snapshot.Query.
+func (x *Index) Query(v vecmath.Vector) []int32 { return x.Snapshot().Query(v) }
 
 // Search returns the ids of indexed vectors u with sim(u, v) ≥ τ among the
-// LSH candidates of v — approximate similarity search with the usual LSH
-// false-negative caveat.
-func (x *Index) Search(v vecmath.Vector, tau float64) []int32 {
-	var out []int32
-	for _, id := range x.Query(v) {
-		if x.family.Sim(x.data[id], v) >= tau {
-			out = append(out, id)
-		}
-	}
-	return out
-}
+// LSH candidates of v at the latest version; see Snapshot.Search.
+func (x *Index) Search(v vecmath.Vector, tau float64) []int32 { return x.Snapshot().Search(v, tau) }
 
-// SizeBytes estimates the total space of all tables (see Table.SizeBytes).
-func (x *Index) SizeBytes() int64 {
-	var s int64
-	for _, t := range x.tables {
-		s += t.SizeBytes()
-	}
-	return s
-}
+// SizeBytes estimates the total space of all tables at the latest version.
+func (x *Index) SizeBytes() int64 { return x.Snapshot().SizeBytes() }

@@ -21,8 +21,13 @@ import (
 // packKey. Both modes expose the same canonical string form through KeyOf /
 // BucketIDs / ForEachBucket.
 //
-// Build tables through Build; a built table is extended in place by Index
-// inserts (see dynamic.go).
+// A Table is immutable once published: construction (build.go) and delta
+// merging (dynamic.go) always produce a fresh value and never touch a table
+// that readers may already hold, so every method here is safe for
+// unsynchronized concurrent use. Bucket lookup goes through two layers: the
+// sharded base maps built by the shard-parallel constructor cover the first
+// nbase buckets, and a small overlay map covers buckets created by merges
+// since the base was last compacted.
 type Table struct {
 	k      int
 	fnBase int // hash function indices used: [fnBase, fnBase+k)
@@ -32,13 +37,16 @@ type Table struct {
 
 	keys64  []uint64 // narrow mode: per-vector bucket key, index = vector id
 	keysStr []string // wide mode
-	idx64   map[uint64]int32
-	idxStr  map[string]int32
 
-	order []*bucket // deterministic (insertion) order for sampling
+	base64  []map[uint64]int32 // narrow: tableShards maps, frozen at build/compact
+	baseStr []map[string]int32 // wide mode equivalent
+	nbase   int                // buckets covered by the base maps: order[:nbase]
+	ovl64   map[uint64]int32   // buckets appended by merges since the base
+	ovlStr  map[string]int32
+
+	order []*bucket // deterministic (first-appearance) order for sampling
 	cum   []int64   // cum[i] = Σ_{j ≤ i} C(order[j].size, 2)
 	nh    int64
-	dirty bool // inserts invalidated cum; rebuilt lazily (see dynamic.go)
 }
 
 type bucket struct {
@@ -54,49 +62,57 @@ func pairs2(b int64) int64 { return b * (b - 1) / 2 }
 // machine word.
 func isNarrow(k, bits int) bool { return k*bits <= 64 }
 
-// newTable64 freezes pre-computed uint64 bucket keys (one per vector) into a
-// narrow-mode table.
-func newTable64(keys []uint64, k, fnBase, bits int) *Table {
-	t := &Table{
-		k: k, fnBase: fnBase, n: len(keys), bits: bits, narrow: true,
-		keys64: keys,
-		idx64:  make(map[uint64]int32),
+// tableShards is the fixed bucket-map shard count. It is independent of
+// GOMAXPROCS so that the table layout — and therefore the shard-parallel
+// build — is deterministic on any machine.
+const tableShards = 64
+
+// shard64 maps a machine-word key to its map shard (top 6 bits of a
+// Fibonacci mix, since packWord concentrates entropy in the low bits).
+func shard64(w uint64) int { return int((w * 0x9E3779B97F4A7C15) >> 58) }
+
+// shardStr is shard64 for wide string keys (FNV-1a).
+func shardStr(s string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
 	}
-	for i, key := range keys {
-		bi, ok := t.idx64[key]
-		if !ok {
-			bi = int32(len(t.order))
-			t.idx64[key] = bi
-			t.order = append(t.order, &bucket{key64: key})
-		}
-		b := t.order[bi]
-		b.ids = append(b.ids, int32(i))
-	}
-	t.freeze()
-	return t
+	return int(h >> 58)
 }
 
-// newTableStr freezes pre-computed string bucket keys into a wide-mode table.
-func newTableStr(keys []string, k, fnBase, bits int) *Table {
-	t := &Table{
-		k: k, fnBase: fnBase, n: len(keys), bits: bits, narrow: false,
-		keysStr: keys,
-		idxStr:  make(map[string]int32),
-	}
-	for i, key := range keys {
-		bi, ok := t.idxStr[key]
-		if !ok {
-			bi = int32(len(t.order))
-			t.idxStr[key] = bi
-			t.order = append(t.order, &bucket{keyStr: key})
+// bucketIndex64 resolves a machine-word key to its bucket index in order.
+func (t *Table) bucketIndex64(w uint64) (int32, bool) {
+	if m := t.base64[shard64(w)]; m != nil {
+		if bi, ok := m[w]; ok {
+			return bi, true
 		}
-		b := t.order[bi]
-		b.ids = append(b.ids, int32(i))
 	}
-	t.freeze()
-	return t
+	if t.ovl64 != nil {
+		if bi, ok := t.ovl64[w]; ok {
+			return bi, true
+		}
+	}
+	return 0, false
 }
 
+// bucketIndexStr resolves a string key to its bucket index in order.
+func (t *Table) bucketIndexStr(key string) (int32, bool) {
+	if m := t.baseStr[shardStr(key)]; m != nil {
+		if bi, ok := m[key]; ok {
+			return bi, true
+		}
+	}
+	if t.ovlStr != nil {
+		if bi, ok := t.ovlStr[key]; ok {
+			return bi, true
+		}
+	}
+	return 0, false
+}
+
+// freeze computes the weighted-sampling prefix sums and N_H from the bucket
+// order. It runs exactly once, before the table is published.
 func (t *Table) freeze() {
 	t.cum = make([]int64, len(t.order))
 	var total int64
@@ -171,7 +187,7 @@ func (t *Table) BucketIDs(key string) []int32 {
 		}
 		return t.bucket64(w)
 	}
-	bi, ok := t.idxStr[key]
+	bi, ok := t.bucketIndexStr(key)
 	if !ok {
 		return nil
 	}
@@ -180,7 +196,7 @@ func (t *Table) BucketIDs(key string) []int32 {
 
 // bucket64 returns the member ids of the bucket keyed by w (narrow mode).
 func (t *Table) bucket64(w uint64) []int32 {
-	bi, ok := t.idx64[w]
+	bi, ok := t.bucketIndex64(w)
 	if !ok {
 		return nil
 	}
@@ -208,16 +224,10 @@ func (t *Table) MaxBucket() int {
 	return max
 }
 
-// Freeze eagerly rebuilds the weighted-sampling prefix sums after inserts.
-// SamplePair does this lazily on first use; callers that fan SamplePair
-// across goroutines must Freeze first so the rebuild does not race.
-func (t *Table) Freeze() { t.ensureFrozen() }
-
 // SamplePair draws a uniform random pair from stratum H: a bucket B_j chosen
 // with weight C(b_j, 2), then a uniform distinct pair inside it. ok is false
 // when the table has no co-located pairs (N_H = 0).
 func (t *Table) SamplePair(rng *xrand.RNG) (i, j int, ok bool) {
-	t.ensureFrozen()
 	if t.nh == 0 {
 		return 0, 0, false
 	}

@@ -2,6 +2,8 @@ package lshjoin
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lshjoin/internal/core"
 	"lshjoin/internal/exactjoin"
@@ -69,14 +71,26 @@ func (o *Options) fillDefaults() {
 
 // Collection is an indexed vector collection: the entry point for join size
 // estimation, exact joins, and similarity search.
+//
+// A Collection is safe for concurrent use: Insert and InsertBatch append to
+// the index's pending delta under a write lock, reads run against
+// atomically-published immutable snapshots, and estimators bind to the
+// snapshot current at their construction. An estimator therefore keeps
+// answering — correctly, over its own version — no matter how many vectors
+// arrive after it was built; construct a new estimator to observe newer
+// data.
 type Collection struct {
-	vectors []Vector
-	opt     Options
-	family  lsh.Family
-	sim     core.SimFunc
-	index   *lsh.Index
-	joiner  *exactjoin.Joiner // lazy
-	seedCtr uint64
+	opt    Options
+	family lsh.Family
+	sim    core.SimFunc
+	index  *lsh.Index
+
+	seedCtr atomic.Uint64
+
+	// The exact joiner is rebuilt lazily whenever the index version moved.
+	joinerMu  sync.Mutex
+	joiner    *exactjoin.Joiner
+	joinerVer uint64
 }
 
 // New indexes the vectors. The collection keeps a reference to the slice;
@@ -103,19 +117,21 @@ func New(vectors []Vector, opt Options) (*Collection, error) {
 		return nil, fmt.Errorf("lshjoin: %w", err)
 	}
 	return &Collection{
-		vectors: vectors,
-		opt:     opt,
-		family:  family,
-		sim:     sim,
-		index:   index,
+		opt:    opt,
+		family: family,
+		sim:    sim,
+		index:  index,
 	}, nil
 }
 
-// N returns the number of vectors.
-func (c *Collection) N() int { return len(c.vectors) }
+// snap publishes any pending inserts and returns the latest immutable view.
+func (c *Collection) snap() *lsh.Snapshot { return c.index.Snapshot() }
+
+// N returns the number of vectors (including all completed Inserts).
+func (c *Collection) N() int { return c.snap().N() }
 
 // Vector returns vector i.
-func (c *Collection) Vector(i int) Vector { return c.vectors[i] }
+func (c *Collection) Vector(i int) Vector { return c.snap().Data()[i] }
 
 // K returns the per-table hash function count.
 func (c *Collection) K() int { return c.opt.K }
@@ -125,11 +141,15 @@ func (c *Collection) Tables() int { return c.opt.Tables }
 
 // IndexBytes estimates the LSH index size using the paper's §6.3 accounting
 // (g values, bucket counts, vector ids).
-func (c *Collection) IndexBytes() int64 { return c.index.SizeBytes() }
+func (c *Collection) IndexBytes() int64 { return c.snap().SizeBytes() }
 
 // PairsSharingBucket returns N_H of table 0: the number of vector pairs
 // co-located in some bucket — the quantity the extended LSH index maintains.
-func (c *Collection) PairsSharingBucket() int64 { return c.index.Table(0).NH() }
+func (c *Collection) PairsSharingBucket() int64 { return c.snap().Table(0).NH() }
+
+// Version returns the collection's publish version: it increments every
+// time inserts become visible to new readers (1 for a fresh collection).
+func (c *Collection) Version() uint64 { return c.snap().Version() }
 
 // EstimateJoinSize estimates |{(u,v): sim(u,v) ≥ tau, u ≠ v}| with LSH-SS
 // under the paper's default parameters (m_H = m_L = n, δ = log₂ n, safe
@@ -145,14 +165,20 @@ func (c *Collection) EstimateJoinSize(tau float64) (float64, error) {
 
 // Insert adds a vector to the collection and its LSH index (ℓ·k hash
 // evaluations; bucket counts and N_H stay exact), returning the vector's
-// id. Estimators constructed before an Insert hold a snapshot and return an
-// error if used afterwards — construct them anew. The exact joiner is also
-// rebuilt lazily on next use.
+// id. The insert is visible to every subsequent read on this collection;
+// estimators constructed earlier keep answering over the version they were
+// built on. Safe to call concurrently with reads, estimates and other
+// inserts.
 func (c *Collection) Insert(v Vector) int {
-	id := c.index.Insert(v)
-	c.vectors = c.index.Data()
-	c.joiner = nil
-	return id
+	return c.index.Insert(v)
+}
+
+// InsertBatch inserts vectors in order and returns the id of the first.
+// The batch is signed through the batched signature engine, so bulk loading
+// costs far less than repeated Inserts, and readers observe the whole batch
+// atomically at the next read.
+func (c *Collection) InsertBatch(vs []Vector) int {
+	return c.index.InsertBatch(vs)
 }
 
 // EstimateJoinSizeCurve estimates the whole selectivity curve J(τ) for a
@@ -161,30 +187,48 @@ func (c *Collection) Insert(v Vector) int {
 // wants. The result aligns with taus and is monotone non-increasing after
 // sorting taus ascending.
 func (c *Collection) EstimateJoinSizeCurve(taus []float64) ([]float64, error) {
-	inner, err := core.NewLSHSS(c.index.Table(0), c.vectors, c.sim)
+	inner, err := core.NewLSHSS(c.snap(), c.sim)
 	if err != nil {
 		return nil, err
 	}
 	return inner.EstimateCurve(taus, xrand.New(c.nextSeed()))
 }
 
+// exactJoiner returns the inverted-index joiner for the current version,
+// rebuilding it only when inserts have been published since the last call.
+func (c *Collection) exactJoiner() (*exactjoin.Joiner, *lsh.Snapshot) {
+	s := c.snap()
+	c.joinerMu.Lock()
+	defer c.joinerMu.Unlock()
+	if c.joiner != nil && c.joinerVer == s.Version() {
+		return c.joiner, s
+	}
+	j := exactjoin.NewJoiner(s.Data())
+	// Only move the cache forward: a reader that raced publication and holds
+	// an older version gets a correct one-off joiner without evicting the
+	// newer cached one (no rebuild ping-pong between concurrent readers).
+	if c.joiner == nil || s.Version() > c.joinerVer {
+		c.joiner, c.joinerVer = j, s.Version()
+	}
+	return j, s
+}
+
 // ExactJoinSize computes the true join size with the inverted-index exact
 // joiner — O(Σ df²), for ground truth and small-to-medium collections.
 func (c *Collection) ExactJoinSize(tau float64) (int64, error) {
 	if c.opt.Measure != CosineSimilarity {
-		return c.exactBrute(tau)
+		return c.exactBrute(c.snap(), tau)
 	}
-	if c.joiner == nil {
-		c.joiner = exactjoin.NewJoiner(c.vectors)
-	}
-	return c.joiner.CountAt(tau)
+	j, _ := c.exactJoiner()
+	return j.CountAt(tau)
 }
 
-func (c *Collection) exactBrute(tau float64) (int64, error) {
+func (c *Collection) exactBrute(s *lsh.Snapshot, tau float64) (int64, error) {
+	data := s.Data()
 	var count int64
-	for i := range c.vectors {
-		for j := i + 1; j < len(c.vectors); j++ {
-			if c.sim(c.vectors[i], c.vectors[j]) >= tau {
+	for i := range data {
+		for j := i + 1; j < len(data); j++ {
+			if c.sim(data[i], data[j]) >= tau {
 				count++
 			}
 		}
@@ -198,16 +242,16 @@ type JoinPair struct {
 	Sim  float64 // their similarity
 }
 
-// JoinPairs materializes the exact similarity join at tau (cosine only),
-// using the All-Pairs prefix-filtered joiner.
+// JoinPairs materializes the exact similarity join at tau. Cosine
+// collections use the All-Pairs prefix-filtered joiner; other measures fall
+// back to the brute-force pair scan (O(n²) similarity evaluations), so the
+// API is complete across measures.
 func (c *Collection) JoinPairs(tau float64) ([]JoinPair, error) {
 	if c.opt.Measure != CosineSimilarity {
-		return nil, fmt.Errorf("lshjoin: JoinPairs supports cosine similarity only")
+		return c.joinPairsBrute(tau)
 	}
-	if c.joiner == nil {
-		c.joiner = exactjoin.NewJoiner(c.vectors)
-	}
-	raw, err := c.joiner.Pairs(tau)
+	j, _ := c.exactJoiner()
+	raw, err := j.Pairs(tau)
 	if err != nil {
 		return nil, err
 	}
@@ -218,11 +262,29 @@ func (c *Collection) JoinPairs(tau float64) ([]JoinPair, error) {
 	return out, nil
 }
 
+// joinPairsBrute enumerates every pair — the measure-agnostic fallback.
+func (c *Collection) joinPairsBrute(tau float64) ([]JoinPair, error) {
+	if tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("lshjoin: threshold must be in (0, 1], got %v", tau)
+	}
+	data := c.snap().Data()
+	var out []JoinPair
+	for i := range data {
+		for j := i + 1; j < len(data); j++ {
+			if s := c.sim(data[i], data[j]); s >= tau {
+				out = append(out, JoinPair{U: i, V: j, Sim: s})
+			}
+		}
+	}
+	return out, nil
+}
+
 // SearchSimilar returns indices of indexed vectors with sim(v, ·) ≥ tau
 // among the LSH candidates of v — approximate search with the usual LSH
-// false-negative caveat.
+// false-negative caveat. The search runs lock-free against the latest
+// published version.
 func (c *Collection) SearchSimilar(v Vector, tau float64) []int {
-	ids := c.index.Search(v, tau)
+	ids := c.snap().Search(v, tau)
 	out := make([]int, len(ids))
 	for i, id := range ids {
 		out[i] = int(id)
@@ -232,6 +294,5 @@ func (c *Collection) SearchSimilar(v Vector, tau float64) []int {
 
 // nextSeed derives a fresh deterministic seed for estimator construction.
 func (c *Collection) nextSeed() uint64 {
-	c.seedCtr++
-	return xrand.Mix2(c.opt.Seed^0xE57AB1E, c.seedCtr)
+	return xrand.Mix2(c.opt.Seed^0xE57AB1E, c.seedCtr.Add(1))
 }

@@ -3,6 +3,8 @@ package lshjoin
 import (
 	"math"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -221,8 +223,24 @@ func TestJaccardMeasureEndToEnd(t *testing.T) {
 	if exact > 20 && math.Abs(mean-float64(exact)) > 0.6*float64(exact) {
 		t.Errorf("Jaccard mean %v vs exact %d", mean, exact)
 	}
-	if _, err := c.JoinPairs(0.5); err == nil {
-		t.Error("JoinPairs should reject non-cosine measures")
+	// JoinPairs falls back to the brute-force scan for non-cosine measures.
+	pairs, err := c.JoinPairs(0.5)
+	if err != nil {
+		t.Fatalf("Jaccard JoinPairs: %v", err)
+	}
+	if int64(len(pairs)) != exact {
+		t.Errorf("Jaccard JoinPairs found %d, ExactJoinSize %d", len(pairs), exact)
+	}
+	for _, p := range pairs {
+		if p.U >= p.V {
+			t.Fatalf("pair not ordered: %+v", p)
+		}
+		if s := Jaccard(vecs[p.U], vecs[p.V]); s < 0.5 || s != p.Sim {
+			t.Fatalf("pair %+v has sim %v", p, s)
+		}
+	}
+	if _, err := c.JoinPairs(0); err == nil {
+		t.Error("tau=0 accepted by brute-force JoinPairs")
 	}
 }
 
@@ -324,8 +342,13 @@ func TestInsertUpdatesCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Stale estimator: created before the insert, must refuse afterwards.
-	stale, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(1))
+	// An estimator constructed before the insert binds to the pre-insert
+	// snapshot: it must keep answering (over 299 vectors) afterwards.
+	pre, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preEst, err := pre.Estimate(0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,6 +356,7 @@ func TestInsertUpdatesCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ver := c.Version()
 	// Insert a duplicate of vector 0: exactly one new pair at sim 1.
 	id := c.Insert(c.Vector(0))
 	if id != 299 {
@@ -341,6 +365,9 @@ func TestInsertUpdatesCollection(t *testing.T) {
 	if c.N() != 300 {
 		t.Fatalf("N = %d", c.N())
 	}
+	if c.Version() <= ver {
+		t.Errorf("version did not advance across Insert: %d → %d", ver, c.Version())
+	}
 	after, err := c.ExactJoinSize(1.0)
 	if err != nil {
 		t.Fatal(err)
@@ -348,8 +375,14 @@ func TestInsertUpdatesCollection(t *testing.T) {
 	if after < before+1 {
 		t.Errorf("duplicate insert did not raise J(1.0): %d → %d", before, after)
 	}
-	if _, err := stale.Estimate(0.9); err == nil {
-		t.Error("stale estimator should refuse after Insert")
+	// The pre-insert estimator still answers over its own version, and with
+	// the same seed state class of randomness stays in a sane range.
+	postEst, err := pre.Estimate(0.9)
+	if err != nil {
+		t.Fatalf("snapshot-bound estimator failed after Insert: %v", err)
+	}
+	if postEst < 0 || math.IsNaN(postEst) {
+		t.Errorf("post-insert estimate invalid: %v (first was %v)", postEst, preEst)
 	}
 	fresh, err := c.Estimator(AlgoLSHSS, WithEstimatorSeed(2))
 	if err != nil {
@@ -357,6 +390,126 @@ func TestInsertUpdatesCollection(t *testing.T) {
 	}
 	if _, err := fresh.Estimate(0.9); err != nil {
 		t.Errorf("fresh estimator failed: %v", err)
+	}
+}
+
+// TestConcurrentInsertEstimateSearch drives the serving contract end to
+// end: one goroutine inserts while others construct estimators, estimate,
+// search and read exact joins — no locks in the caller, no staleness
+// errors, every answer consistent with some published version. Run under
+// -race.
+func TestConcurrentInsertEstimateSearch(t *testing.T) {
+	vecs := fixtureVectors(t, 500)
+	c, err := New(vecs[:300], Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: stream the remaining vectors one at a time
+		defer wg.Done()
+		defer close(done)
+		for i, v := range vecs[300:] {
+			if i%10 == 9 {
+				c.InsertBatch(vecs[300+i-9 : 300+i+1][:0]) // exercise the no-op path too
+			}
+			c.Insert(v)
+		}
+	}()
+	var estimates atomic.Int64
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// The done check sits at the loop end so every reader completes
+			// at least one full iteration even if the writer wins the race
+			// to finish (single-core schedulers regularly let it).
+			for r := 0; ; r++ {
+				est, err := c.Estimator(AlgoLSHSS,
+					WithEstimatorSeed(uint64(w*1000+r+1)), WithSampleBudget(200, 200))
+				if err != nil {
+					t.Errorf("estimator under ingest: %v", err)
+					return
+				}
+				v, err := est.Estimate(0.5)
+				if err != nil {
+					t.Errorf("estimate under ingest: %v", err)
+					return
+				}
+				if v < 0 || math.IsNaN(v) {
+					t.Errorf("invalid concurrent estimate %v", v)
+					return
+				}
+				estimates.Add(1)
+				n := c.N()
+				if n < 300 || n > 500 {
+					t.Errorf("N = %d out of range", n)
+					return
+				}
+				for _, id := range c.SearchSimilar(vecs[r%300], 0.95) {
+					if id >= c.N() {
+						t.Errorf("search id %d exceeds collection", id)
+						return
+					}
+				}
+				if _, err := c.ExactJoinSize(0.9); err != nil {
+					t.Errorf("exact join under ingest: %v", err)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.N() != 500 {
+		t.Fatalf("final N = %d", c.N())
+	}
+	if estimates.Load() == 0 {
+		t.Error("no estimates completed during ingest")
+	}
+	// After the dust settles the collection answers exactly like a fresh one.
+	fresh, err := New(vecs, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.ExactJoinSize(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.ExactJoinSize(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("post-ingest exact join %d differs from fresh build %d", a, b)
+	}
+	if c.PairsSharingBucket() != fresh.PairsSharingBucket() {
+		t.Errorf("post-ingest N_H %d differs from fresh build %d",
+			c.PairsSharingBucket(), fresh.PairsSharingBucket())
+	}
+}
+
+func TestInsertBatchMatchesFreshBuild(t *testing.T) {
+	vecs := fixtureVectors(t, 400)
+	c, err := New(vecs[:250], Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := c.InsertBatch(vecs[250:]); first != 250 {
+		t.Fatalf("first batch id = %d, want 250", first)
+	}
+	fresh, err := New(vecs, Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != fresh.N() || c.PairsSharingBucket() != fresh.PairsSharingBucket() {
+		t.Errorf("batch-loaded collection (n=%d, NH=%d) differs from fresh (n=%d, NH=%d)",
+			c.N(), c.PairsSharingBucket(), fresh.N(), fresh.PairsSharingBucket())
 	}
 }
 
