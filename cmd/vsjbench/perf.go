@@ -17,10 +17,12 @@ import (
 
 // Perf trajectory tooling: `vsjbench -perf` times the hot paths of the LSH
 // layer (index build, per-vector signing, LSH-SS estimation, candidate
-// retrieval, snapshot publication, and a mixed Estimate+Insert serving
-// workload) with testing.Benchmark and writes the results as JSON. The file
-// is committed as BENCH_lsh.json at the repo root so future changes can be
-// diffed against the recorded baseline.
+// retrieval, snapshot publication — including per-insert publication through
+// the Fenwick weight index at two bucket counts, against an emulated eager
+// prefix-sum rebuild — and a mixed Estimate+Insert serving workload) with
+// testing.Benchmark and writes the results as JSON. The file is committed as
+// BENCH_lsh.json at the repo root so future changes can be diffed against
+// the recorded baseline.
 
 type perfResult struct {
 	Name        string  `json:"name"`
@@ -137,6 +139,55 @@ func runPerf(outPath string) error {
 		for i := 0; i < b.N; i++ {
 			ix.Insert(v)
 			ix.Snapshot()
+		}
+	})
+	// Per-insert publication through the public policy (PublishEvery=1):
+	// every Insert cuts a fresh Fenwick-merged version. Run at the base
+	// corpus and at 4× the buckets — the ns/op pair demonstrates that
+	// publication cost is independent of total bucket count at fixed delta
+	// size (the O(d · log #buckets) merge contract).
+	perInsert := func(nvec int, seed uint64) func(b *testing.B) {
+		return func(b *testing.B) {
+			corpus := perfData(nvec, dims, nnz, seed)
+			coll, err := lshjoin.New(corpus, lshjoin.Options{K: k, Seed: seed, PublishEvery: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := corpus[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				coll.Insert(v)
+			}
+		}
+	}
+	add("publish_per_insert", perInsert(n, 17))
+	add("publish_per_insert_4x_buckets", perInsert(4*n, 19))
+	// The pre-Fenwick alternative at the larger size: publication plus an
+	// eager O(#buckets) prefix-sum rebuild per version, which is what every
+	// publish used to pay regardless of delta size.
+	add("publish_prefix_sum_rebuild_4x_buckets", func(b *testing.B) {
+		corpus := perfData(4*n, dims, nnz, 19)
+		ix, err := lsh.Build(corpus, lsh.NewSimHash(19), k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := corpus[0]
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Insert(v)
+			s := ix.Snapshot()
+			sizes := s.Table(0).BucketSizes()
+			cum := make([]int64, len(sizes))
+			var total int64
+			for j, sz := range sizes {
+				total += int64(sz) * int64(sz-1) / 2
+				cum[j] = total
+			}
+			sink += cum[len(cum)-1]
+		}
+		if sink < 0 {
+			b.Fatal("impossible")
 		}
 	})
 	// Mixed serving workload: a background writer streams single-vector

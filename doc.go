@@ -39,6 +39,15 @@
 // a new estimator (cheap) to observe newer data. All Collection methods
 // are safe for unsynchronized concurrent use.
 //
+// Publication is incremental: each table's bucket sequence and sampling
+// weights live in a persistent (path-copying) Fenwick weight index that
+// consecutive versions share structurally, so publishing a d-vector delta
+// costs O(d · log #buckets) per table — independent of how many buckets
+// the tables hold — instead of an O(#buckets) prefix-sum rebuild. That
+// makes per-insert publication affordable: set Options.PublishEvery to 1
+// (or any delta size) and Insert cuts a fresh lock-free version under
+// that policy; leave it 0 to publish lazily on the next read.
+//
 // # Performance
 //
 // Index construction and bulk loading run through a batched signature

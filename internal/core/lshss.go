@@ -29,7 +29,8 @@ const (
 
 // LSHSS is Algorithm 1 of the paper: stratified sampling over the two strata
 // induced by one LSH table. SampleH draws m_H uniform pairs from stratum H
-// (co-bucketed pairs, weighted bucket sampling) and scales by N_H/m_H;
+// (co-bucketed pairs, each drawn by an O(log #buckets) descent of the
+// table's persistent Fenwick weight index) and scales by N_H/m_H;
 // SampleL runs Lipton-style adaptive sampling over stratum L, scaling up
 // only when it observed at least δ true pairs and otherwise returning a safe
 // lower bound (or a dampened scale-up). The final estimate is Ĵ = Ĵ_H + Ĵ_L.

@@ -47,11 +47,12 @@ func NewBipartite(left, right *Snapshot, t int) (*Bipartite, error) {
 	// tables match on machine words; only the stored diagnostic key is a
 	// string.
 	if b.ltab.Narrow() {
-		for _, lb := range b.ltab.order {
+		b.ltab.w.walk(func(_ int, lb *bucket) bool {
 			if rids := b.rtab.bucket64(lb.key64); len(rids) > 0 {
 				b.matches = append(b.matches, bucketMatch{key: key64String(lb.key64), left: lb.ids, right: rids})
 			}
-		}
+			return true
+		})
 	} else {
 		b.ltab.ForEachBucket(func(key string, ids []int32) bool {
 			if rids := b.rtab.BucketIDs(key); len(rids) > 0 {

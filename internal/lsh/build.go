@@ -161,6 +161,14 @@ func mergeShardBuckets(sb [][]*bucket, narrow bool) (order []*bucket, globals []
 	return order, globals
 }
 
+// freezeOrder publishes a freshly built bucket order as the table's weight
+// tree (O(#buckets), once per full build or compaction) and marks every
+// bucket as base-map covered.
+func (t *Table) freezeOrder(order []*bucket) {
+	t.w = newFenwick(order)
+	t.nbase = len(order)
+}
+
 // newTable64 builds a narrow-mode table over pre-computed uint64 bucket keys
 // (one per vector), in parallel for large inputs.
 func newTable64(keys []uint64, k, fnBase, bits int) *Table {
@@ -178,6 +186,7 @@ func buildTable64(keys []uint64, k, fnBase, bits, workers int) *Table {
 		base64: make([]map[uint64]int32, tableShards),
 	}
 	if workers <= 1 {
+		var order []*bucket
 		for i, key := range keys {
 			s := shard64(key)
 			m := t.base64[s]
@@ -187,15 +196,14 @@ func buildTable64(keys []uint64, k, fnBase, bits, workers int) *Table {
 			}
 			bi, ok := m[key]
 			if !ok {
-				bi = int32(len(t.order))
+				bi = int32(len(order))
 				m[key] = bi
-				t.order = append(t.order, &bucket{key64: key})
+				order = append(order, &bucket{key64: key})
 			}
-			b := t.order[bi]
+			b := order[bi]
 			b.ids = append(b.ids, int32(i))
 		}
-		t.nbase = len(t.order)
-		t.freeze()
+		t.freezeOrder(order)
 		return t
 	}
 	idxs, starts := scatter(len(keys), workers, func(i int) uint8 { return uint8(shard64(keys[i])) })
@@ -222,14 +230,12 @@ func buildTable64(keys []uint64, k, fnBase, bits, workers int) *Table {
 		sb[s] = bks
 	})
 	order, globals := mergeShardBuckets(sb, true)
-	t.order = order
 	parallelN(tableShards, workers, func(s int) {
 		for local, b := range sb[s] {
 			t.base64[s][b.key64] = globals[s][local]
 		}
 	})
-	t.nbase = len(t.order)
-	t.freeze()
+	t.freezeOrder(order)
 	return t
 }
 
@@ -248,6 +254,7 @@ func buildTableStr(keys []string, k, fnBase, bits, workers int) *Table {
 		baseStr: make([]map[string]int32, tableShards),
 	}
 	if workers <= 1 {
+		var order []*bucket
 		for i, key := range keys {
 			s := shardStr(key)
 			m := t.baseStr[s]
@@ -257,15 +264,14 @@ func buildTableStr(keys []string, k, fnBase, bits, workers int) *Table {
 			}
 			bi, ok := m[key]
 			if !ok {
-				bi = int32(len(t.order))
+				bi = int32(len(order))
 				m[key] = bi
-				t.order = append(t.order, &bucket{keyStr: key})
+				order = append(order, &bucket{keyStr: key})
 			}
-			b := t.order[bi]
+			b := order[bi]
 			b.ids = append(b.ids, int32(i))
 		}
-		t.nbase = len(t.order)
-		t.freeze()
+		t.freezeOrder(order)
 		return t
 	}
 	idxs, starts := scatter(len(keys), workers, func(i int) uint8 { return uint8(shardStr(keys[i])) })
@@ -292,13 +298,11 @@ func buildTableStr(keys []string, k, fnBase, bits, workers int) *Table {
 		sb[s] = bks
 	})
 	order, globals := mergeShardBuckets(sb, false)
-	t.order = order
 	parallelN(tableShards, workers, func(s int) {
 		for local, b := range sb[s] {
 			t.baseStr[s][b.keyStr] = globals[s][local]
 		}
 	})
-	t.nbase = len(t.order)
-	t.freeze()
+	t.freezeOrder(order)
 	return t
 }

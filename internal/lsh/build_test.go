@@ -6,8 +6,20 @@ import (
 	"lshjoin/internal/xrand"
 )
 
+// collectBuckets snapshots a table's bucket sequence in deterministic order
+// via the weight tree's in-order traversal.
+func collectBuckets(tab *Table) []*bucket {
+	out := make([]*bucket, 0, tab.NumBuckets())
+	tab.w.walk(func(_ int, b *bucket) bool {
+		out = append(out, b)
+		return true
+	})
+	return out
+}
+
 // tablesEqual deep-compares every observable of two tables: per-vector keys,
-// bucket order and membership, N_H, prefix sums, and lookups for every key.
+// bucket order and membership, N_H, cumulative weights, and lookups for
+// every key.
 func tablesEqual(t *testing.T, a, b *Table) {
 	t.Helper()
 	if a.N() != b.N() || a.K() != b.K() || a.FnBase() != b.FnBase() || a.Narrow() != b.Narrow() {
@@ -21,8 +33,12 @@ func tablesEqual(t *testing.T, a, b *Table) {
 			t.Fatalf("vector %d: key mismatch", i)
 		}
 	}
-	for bi := range a.order {
-		ba, bb := a.order[bi], b.order[bi]
+	oa, ob := collectBuckets(a), collectBuckets(b)
+	if len(oa) != len(ob) || len(oa) != a.NumBuckets() {
+		t.Fatalf("bucket walk lengths %d/%d vs NumBuckets %d", len(oa), len(ob), a.NumBuckets())
+	}
+	for bi := range oa {
+		ba, bb := oa[bi], ob[bi]
 		if ba.keyString(a.narrow) != bb.keyString(b.narrow) {
 			t.Fatalf("bucket %d: key %q vs %q", bi, ba.keyString(a.narrow), bb.keyString(b.narrow))
 		}
@@ -34,8 +50,8 @@ func tablesEqual(t *testing.T, a, b *Table) {
 				t.Fatalf("bucket %d member %d: id %d vs %d", bi, x, ba.ids[x], bb.ids[x])
 			}
 		}
-		if a.cum[bi] != b.cum[bi] {
-			t.Fatalf("bucket %d: cum %d vs %d", bi, a.cum[bi], b.cum[bi])
+		if a.CumWeight(bi) != b.CumWeight(bi) {
+			t.Fatalf("bucket %d: cum %d vs %d", bi, a.CumWeight(bi), b.CumWeight(bi))
 		}
 	}
 	for i := 0; i < a.N(); i++ {
@@ -98,7 +114,7 @@ func TestParallelBuildFirstAppearanceOrder(t *testing.T) {
 	}
 	tab := buildTable64(keys, 8, 0, 1, 4)
 	prev := int32(-1)
-	for bi, b := range tab.order {
+	for bi, b := range collectBuckets(tab) {
 		if len(b.ids) == 0 {
 			t.Fatalf("bucket %d empty", bi)
 		}

@@ -11,13 +11,16 @@ import "lshjoin/internal/vecmath"
 // keeps answering over its own version, and new readers pick up the merged
 // version lock-free.
 //
-// A merge is copy-on-write: the new version shares every untouched bucket,
-// the base lookup maps and the key-array backing with its predecessor, and
-// copies only the bucket-order slice, the buckets the delta touches, and
-// the small overlay map of buckets created since the base build. Appends to
-// shared backing arrays are safe because exactly one writer extends them
-// (serialized by Index.mu) and readers of older versions never index past
-// their own length.
+// A merge is copy-on-write and costs O(d · log #buckets) for a d-key delta:
+// the new version shares the base lookup maps, the key-array backing and —
+// through the persistent Fenwick weight index (fenwick.go) — every untouched
+// bucket and weight subtree with its predecessor. Only the buckets the delta
+// touches get fresh headers, and each lands in the weight tree with one
+// O(log #buckets) path copy; there is no bucket-order copy and no prefix-sum
+// rebuild, which is what makes per-insert publication affordable on large
+// tables. Appends to shared backing arrays are safe because exactly one
+// writer extends them (serialized by Index.mu) and readers of older versions
+// never index past their own length.
 
 // merge64 returns a new narrow-mode table extending t with the pending
 // bucket keys, leaving t untouched for its readers.
@@ -28,10 +31,14 @@ func (t *Table) merge64(keys []uint64) *Table {
 		base64: t.base64,
 		nbase:  t.nbase,
 		ovl64:  t.ovl64,
-		nh:     t.nh,
+		w:      t.w, // O(1) copy; set/push below path-copy away from t's root
 	}
-	nt.order = make([]*bucket, len(t.order), len(t.order)+len(keys))
-	copy(nt.order, t.order)
+	// touched maps bucket index → this merge's private header, so a bucket
+	// hit several times in one delta is copied (and re-published) once;
+	// appended collects brand-new buckets at indices size0, size0+1, ...
+	size0 := t.w.size
+	touched := make(map[int32]*bucket, len(keys))
+	var appended []*bucket
 	ovlCopied := false
 	for i, key := range keys {
 		id := int32(t.n + i)
@@ -45,23 +52,56 @@ func (t *Table) merge64(keys []uint64) *Table {
 				nt.ovl64 = m
 				ovlCopied = true
 			}
-			bi = int32(len(nt.order))
+			bi = int32(size0 + len(appended))
 			nt.ovl64[key] = bi
-			nt.order = append(nt.order, &bucket{key64: key})
+			appended = append(appended, &bucket{key64: key, ids: []int32{id}})
+			continue
 		}
-		b := nt.order[bi]
-		if int(bi) < len(t.order) && b == t.order[bi] {
+		var b *bucket
+		if int(bi) >= size0 {
+			b = appended[int(bi)-size0]
+		} else if b = touched[bi]; b == nil {
 			// First touch of a shared bucket: copy-on-write its header so
 			// readers of t keep their length.
-			b = &bucket{key64: b.key64, ids: b.ids}
-			nt.order[bi] = b
+			shared := t.w.at(int(bi))
+			b = &bucket{key64: shared.key64, ids: shared.ids}
+			touched[bi] = b
 		}
-		nt.nh += int64(len(b.ids)) // joining a bucket of size b adds b pairs
 		b.ids = append(b.ids, id)
 	}
+	nt.applyDelta(touched, appended)
 	nt.maybeCompact()
-	nt.freeze()
 	return nt
+}
+
+// applyDelta publishes a merge's touched and appended buckets into the new
+// table's weight tree. Small deltas take the incremental path: one O(log
+// #buckets) path copy per bucket, sharing everything else with the
+// predecessor. A delta touching a large fraction of the buckets flips to a
+// bulk freeze — one O(#buckets) rebuild is cheaper than per-bucket path
+// copies once d · log #buckets exceeds #buckets — so bulk loads never pay
+// more than the old eager publication did.
+func (t *Table) applyDelta(touched map[int32]*bucket, appended []*bucket) {
+	size0 := t.w.size
+	if d := len(touched) + len(appended); d*8 >= size0 {
+		order := make([]*bucket, 0, size0+len(appended))
+		t.w.walk(func(i int, b *bucket) bool {
+			if tb := touched[int32(i)]; tb != nil {
+				b = tb
+			}
+			order = append(order, b)
+			return true
+		})
+		order = append(order, appended...)
+		t.w = newFenwick(order)
+		return
+	}
+	for bi, b := range touched {
+		t.w.set(int(bi), b)
+	}
+	for _, b := range appended {
+		t.w.push(b)
+	}
 }
 
 // mergeStr is merge64 for wide-mode tables.
@@ -72,10 +112,11 @@ func (t *Table) mergeStr(keys []string) *Table {
 		baseStr: t.baseStr,
 		nbase:   t.nbase,
 		ovlStr:  t.ovlStr,
-		nh:      t.nh,
+		w:       t.w,
 	}
-	nt.order = make([]*bucket, len(t.order), len(t.order)+len(keys))
-	copy(nt.order, t.order)
+	size0 := t.w.size
+	touched := make(map[int32]*bucket, len(keys))
+	var appended []*bucket
 	ovlCopied := false
 	for i, key := range keys {
 		id := int32(t.n + i)
@@ -89,25 +130,32 @@ func (t *Table) mergeStr(keys []string) *Table {
 				nt.ovlStr = m
 				ovlCopied = true
 			}
-			bi = int32(len(nt.order))
+			bi = int32(size0 + len(appended))
 			nt.ovlStr[key] = bi
-			nt.order = append(nt.order, &bucket{keyStr: key})
+			appended = append(appended, &bucket{keyStr: key, ids: []int32{id}})
+			continue
 		}
-		b := nt.order[bi]
-		if int(bi) < len(t.order) && b == t.order[bi] {
-			b = &bucket{keyStr: b.keyStr, ids: b.ids}
-			nt.order[bi] = b
+		var b *bucket
+		if int(bi) >= size0 {
+			b = appended[int(bi)-size0]
+		} else if b = touched[bi]; b == nil {
+			shared := t.w.at(int(bi))
+			b = &bucket{keyStr: shared.keyStr, ids: shared.ids}
+			touched[bi] = b
 		}
-		nt.nh += int64(len(b.ids))
 		b.ids = append(b.ids, id)
 	}
+	nt.applyDelta(touched, appended)
 	nt.maybeCompact()
-	nt.freeze()
 	return nt
 }
 
 // maybeCompact folds the overlay into fresh sharded base maps once it has
 // outgrown its role as a small delta, keeping lookups near one map probe.
+// This is the one publication path that walks every bucket (via the weight
+// tree's in-order traversal); it runs only when the overlay exceeds a
+// quarter of the base, so its O(#buckets) cost amortizes over the merges
+// that grew the overlay.
 func (t *Table) maybeCompact() {
 	ovl := len(t.ovl64) + len(t.ovlStr)
 	if ovl <= 256 || ovl*4 <= t.nbase {
@@ -115,26 +163,28 @@ func (t *Table) maybeCompact() {
 	}
 	if t.narrow {
 		base := make([]map[uint64]int32, tableShards)
-		for gi, b := range t.order {
+		t.w.walk(func(gi int, b *bucket) bool {
 			s := shard64(b.key64)
 			if base[s] == nil {
 				base[s] = make(map[uint64]int32)
 			}
 			base[s][b.key64] = int32(gi)
-		}
+			return true
+		})
 		t.base64, t.ovl64 = base, nil
 	} else {
 		base := make([]map[string]int32, tableShards)
-		for gi, b := range t.order {
+		t.w.walk(func(gi int, b *bucket) bool {
 			s := shardStr(b.keyStr)
 			if base[s] == nil {
 				base[s] = make(map[string]int32)
 			}
 			base[s][b.keyStr] = int32(gi)
-		}
+			return true
+		})
 		t.baseStr, t.ovlStr = base, nil
 	}
-	t.nbase = len(t.order)
+	t.nbase = t.w.size
 }
 
 // Insert hashes v into every table's pending delta and logically appends it

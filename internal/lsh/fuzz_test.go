@@ -1,0 +1,57 @@
+package lsh
+
+import "testing"
+
+// FuzzTableMergePublish feeds arbitrary delta key streams through the
+// incremental merge path — base build, then publish-sized delta chunks
+// merged one at a time — and requires the result to be indistinguishable
+// from a from-scratch rebuild over the concatenated keys, in both narrow
+// (uint64) and wide (string) key modes.
+//
+// Byte layout: data[0] picks the chunking rhythm; every following byte is
+// one key, folded into a small alphabet so buckets genuinely collide and
+// overlay compaction triggers on longer inputs.
+func FuzzTableMergePublish(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 1, 2, 3, 9, 9, 1})
+	f.Add([]byte{1, 0, 0, 0, 0})
+	f.Add([]byte{7, 255, 254, 253, 1, 1, 1, 2, 2, 40, 41, 42, 43})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		chunk := int(data[0]%13) + 1
+		raw := data[1:]
+		keys := make([]uint64, len(raw))
+		for i, b := range raw {
+			keys[i] = uint64(b % 37) // collision-rich alphabet
+		}
+
+		// Narrow mode: base is the first chunk, then merge64 one chunk per
+		// publish — the exact per-insert publication path when chunk == 1.
+		base := keys[:min(chunk, len(keys))]
+		inc := buildTable64(append([]uint64(nil), base...), 8, 0, 1, 1)
+		for lo := len(base); lo < len(keys); lo += chunk {
+			hi := min(lo+chunk, len(keys))
+			inc = inc.merge64(keys[lo:hi])
+		}
+		full := buildTable64(append([]uint64(nil), keys...), 8, 0, 1, 1)
+		tablesEqual(t, full, inc)
+
+		// Wide mode: same stream as 70-bit packed string keys via mergeStr.
+		skeys := make([]string, len(keys))
+		vals := make([]uint64, 70)
+		for i, w := range keys {
+			vals[0], vals[69] = w%7, w/7
+			skeys[i] = packKey(vals, 1)
+		}
+		sbase := skeys[:min(chunk, len(skeys))]
+		sinc := buildTableStr(append([]string(nil), sbase...), 70, 0, 1, 1)
+		for lo := len(sbase); lo < len(skeys); lo += chunk {
+			hi := min(lo+chunk, len(skeys))
+			sinc = sinc.mergeStr(skeys[lo:hi])
+		}
+		sfull := buildTableStr(append([]string(nil), skeys...), 70, 0, 1, 1)
+		tablesEqual(t, sfull, sinc)
+	})
+}

@@ -91,10 +91,19 @@ func BuildSnapshot(data []vecmath.Vector, family Family, k, ell int) (*Snapshot,
 // inserts. It never blocks.
 func (x *Index) Current() *Snapshot { return x.cur.Load() }
 
+// Pending returns the number of inserted vectors not yet published as a
+// snapshot. It never blocks; publication policies (see the public
+// Collection) use it to decide when to cut a version.
+func (x *Index) Pending() int { return int(x.npend.Load()) }
+
 // Snapshot publishes any pending inserts as a new immutable version and
 // returns it. With no pending delta this is one atomic load. The merge cost
-// is O(#buckets) per table (prefix sums and the copied bucket order) plus
-// O(delta); batches of inserts between snapshots amortize it.
+// for a d-key delta is O(d · log #buckets) per table: only the buckets the
+// delta touches are copied, each landing in the persistent Fenwick weight
+// index with one root-path copy (see fenwick.go and dynamic.go) — there is
+// no prefix-sum rebuild and no bucket-order copy, so publication cost is
+// independent of the total bucket count and per-insert publication is
+// affordable on large tables.
 func (x *Index) Snapshot() *Snapshot {
 	if x.npend.Load() == 0 {
 		return x.cur.Load()

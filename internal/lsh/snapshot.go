@@ -15,8 +15,9 @@ import (
 // vectors the owning Index ingests afterwards.
 //
 // Snapshots are cheap version objects, not copies: consecutive versions
-// share bucket id slices, key arrays and base lookup maps, with merges
-// copying only what they touch (see dynamic.go).
+// share bucket id slices, key arrays, base lookup maps and the subtrees of
+// each table's persistent Fenwick weight index, with merges path-copying
+// only what they touch (see dynamic.go and fenwick.go).
 type Snapshot struct {
 	version uint64
 	family  Family

@@ -3,7 +3,6 @@ package lsh
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"lshjoin/internal/xrand"
 )
@@ -11,8 +10,8 @@ import (
 // Table is one LSH hash table D_g, where g concatenates k hash functions of
 // a Family. It is the paper's extended LSH table (§4.1.1): buckets carry
 // their member counts, and the table maintains N_H = Σ_j C(b_j, 2) plus a
-// cumulative-weight array so that a uniform random pair from stratum H can
-// be drawn in O(log #buckets).
+// persistent Fenwick weight index over the bucket sequence (fenwick.go) so
+// that a uniform random pair from stratum H can be drawn in O(log #buckets).
 //
 // Storage comes in two modes. When the concatenated hash value fits in a
 // machine word (k·Bits() ≤ 64 — SimHash up to k=64, MinHash up to k=2) the
@@ -27,7 +26,11 @@ import (
 // unsynchronized concurrent use. Bucket lookup goes through two layers: the
 // sharded base maps built by the shard-parallel constructor cover the first
 // nbase buckets, and a small overlay map covers buckets created by merges
-// since the base was last compacted.
+// since the base was last compacted. The buckets themselves, in their
+// deterministic first-appearance order, live in the leaves of the weight
+// tree, which consecutive versions share structurally — a merge path-copies
+// only the touched leaves' root paths instead of copying the bucket order
+// and rebuilding prefix sums.
 type Table struct {
 	k      int
 	fnBase int // hash function indices used: [fnBase, fnBase+k)
@@ -40,13 +43,11 @@ type Table struct {
 
 	base64  []map[uint64]int32 // narrow: tableShards maps, frozen at build/compact
 	baseStr []map[string]int32 // wide mode equivalent
-	nbase   int                // buckets covered by the base maps: order[:nbase]
+	nbase   int                // buckets covered by the base maps: indices [0, nbase)
 	ovl64   map[uint64]int32   // buckets appended by merges since the base
 	ovlStr  map[string]int32
 
-	order []*bucket // deterministic (first-appearance) order for sampling
-	cum   []int64   // cum[i] = Σ_{j ≤ i} C(order[j].size, 2)
-	nh    int64
+	w fenwick // bucket sequence + pair weights, shared across versions
 }
 
 type bucket struct {
@@ -81,7 +82,7 @@ func shardStr(s string) int {
 	return int(h >> 58)
 }
 
-// bucketIndex64 resolves a machine-word key to its bucket index in order.
+// bucketIndex64 resolves a machine-word key to its bucket index.
 func (t *Table) bucketIndex64(w uint64) (int32, bool) {
 	if m := t.base64[shard64(w)]; m != nil {
 		if bi, ok := m[w]; ok {
@@ -96,7 +97,7 @@ func (t *Table) bucketIndex64(w uint64) (int32, bool) {
 	return 0, false
 }
 
-// bucketIndexStr resolves a string key to its bucket index in order.
+// bucketIndexStr resolves a string key to its bucket index.
 func (t *Table) bucketIndexStr(key string) (int32, bool) {
 	if m := t.baseStr[shardStr(key)]; m != nil {
 		if bi, ok := m[key]; ok {
@@ -109,18 +110,6 @@ func (t *Table) bucketIndexStr(key string) (int32, bool) {
 		}
 	}
 	return 0, false
-}
-
-// freeze computes the weighted-sampling prefix sums and N_H from the bucket
-// order. It runs exactly once, before the table is published.
-func (t *Table) freeze() {
-	t.cum = make([]int64, len(t.order))
-	var total int64
-	for i, b := range t.order {
-		total += pairs2(int64(len(b.ids)))
-		t.cum[i] = total
-	}
-	t.nh = total
 }
 
 // keyString renders the canonical string form of b's key.
@@ -144,16 +133,22 @@ func (t *Table) FnBase() int { return t.fnBase }
 func (t *Table) Narrow() bool { return t.narrow }
 
 // NumBuckets returns the number of non-empty buckets n_g.
-func (t *Table) NumBuckets() int { return len(t.order) }
+func (t *Table) NumBuckets() int { return t.w.size }
 
 // M returns the total number of unordered vector pairs C(n, 2).
 func (t *Table) M() int64 { return pairs2(int64(t.n)) }
 
-// NH returns N_H = Σ_j C(b_j, 2), the number of pairs sharing a bucket.
-func (t *Table) NH() int64 { return t.nh }
+// NH returns N_H = Σ_j C(b_j, 2), the number of pairs sharing a bucket
+// (the weight tree's root sum, O(1)).
+func (t *Table) NH() int64 { return t.w.total() }
 
 // NL returns N_L = M − N_H, the number of pairs not sharing a bucket.
-func (t *Table) NL() int64 { return t.M() - t.nh }
+func (t *Table) NL() int64 { return t.M() - t.w.total() }
+
+// CumWeight returns the cumulative pair weight Σ_{j ≤ i} C(b_j, 2) of the
+// buckets up to index i in the deterministic bucket order — the quantity the
+// frozen prefix-sum array used to expose — in O(log #buckets).
+func (t *Table) CumWeight(i int) int64 { return t.w.prefix(i) }
 
 // KeyOf returns the bucket key of vector i in canonical string form (the
 // 8-byte big-endian packed word in narrow mode).
@@ -191,7 +186,7 @@ func (t *Table) BucketIDs(key string) []int32 {
 	if !ok {
 		return nil
 	}
-	return t.order[bi].ids
+	return t.w.at(int(bi)).ids
 }
 
 // bucket64 returns the member ids of the bucket keyed by w (narrow mode).
@@ -200,41 +195,45 @@ func (t *Table) bucket64(w uint64) []int32 {
 	if !ok {
 		return nil
 	}
-	return t.order[bi].ids
+	return t.w.at(int(bi)).ids
 }
 
 // BucketSizes returns the multiset of bucket counts b_j in deterministic
 // order.
 func (t *Table) BucketSizes() []int {
-	out := make([]int, len(t.order))
-	for i, b := range t.order {
-		out[i] = len(b.ids)
-	}
+	out := make([]int, 0, t.w.size)
+	t.w.walk(func(_ int, b *bucket) bool {
+		out = append(out, len(b.ids))
+		return true
+	})
 	return out
 }
 
 // MaxBucket returns the largest bucket count (0 for an empty table).
 func (t *Table) MaxBucket() int {
 	max := 0
-	for _, b := range t.order {
+	t.w.walk(func(_ int, b *bucket) bool {
 		if len(b.ids) > max {
 			max = len(b.ids)
 		}
-	}
+		return true
+	})
 	return max
 }
 
 // SamplePair draws a uniform random pair from stratum H: a bucket B_j chosen
-// with weight C(b_j, 2), then a uniform distinct pair inside it. ok is false
-// when the table has no co-located pairs (N_H = 0).
+// with weight C(b_j, 2) by descending the weight tree, then a uniform
+// distinct pair inside it. ok is false when the table has no co-located
+// pairs (N_H = 0). The descent consumes the same RNG stream and selects the
+// same bucket as the former prefix-sum binary search.
 func (t *Table) SamplePair(rng *xrand.RNG) (i, j int, ok bool) {
-	if t.nh == 0 {
+	nh := t.w.total()
+	if nh == 0 {
 		return 0, 0, false
 	}
-	x := int64(rng.Uint64n(uint64(t.nh)))
-	// First bucket whose cumulative weight exceeds x.
-	bi := sort.Search(len(t.cum), func(k int) bool { return t.cum[k] > x })
-	ids := t.order[bi].ids
+	x := int64(rng.Uint64n(uint64(nh)))
+	_, bk := t.w.find(x)
+	ids := bk.ids
 	a := rng.Intn(len(ids))
 	b := rng.Intn(len(ids) - 1)
 	if b >= a {
@@ -247,26 +246,25 @@ func (t *Table) SamplePair(rng *xrand.RNG) (i, j int, ok bool) {
 // bucket. It stops early if fn returns false. This exact enumeration costs
 // Θ(N_H) and backs the probability tables of the evaluation (Tables 1–2).
 func (t *Table) ForEachIntraPair(fn func(i, j int32) bool) {
-	for _, b := range t.order {
+	t.w.walk(func(_ int, b *bucket) bool {
 		ids := b.ids
 		for x := 0; x < len(ids); x++ {
 			for y := x + 1; y < len(ids); y++ {
 				if !fn(ids[x], ids[y]) {
-					return
+					return false
 				}
 			}
 		}
-	}
+		return true
+	})
 }
 
 // ForEachBucket calls fn for every bucket in deterministic order with the
 // canonical string key; it stops early if fn returns false.
 func (t *Table) ForEachBucket(fn func(key string, ids []int32) bool) {
-	for _, b := range t.order {
-		if !fn(b.keyString(t.narrow), b.ids) {
-			return
-		}
-	}
+	t.w.walk(func(_ int, b *bucket) bool {
+		return fn(b.keyString(t.narrow), b.ids)
+	})
 }
 
 // SizeBytes estimates the space of the extended LSH table using the paper's
@@ -274,14 +272,15 @@ func (t *Table) ForEachBucket(fn func(key string, ids []int32) bool) {
 // one 4-byte id per member. Go map/runtime overheads are deliberately
 // excluded to mirror "ignoring implementation-dependent overheads".
 func (t *Table) SizeBytes() int64 {
-	keyBytes := int64(8)
 	var s int64
-	for _, b := range t.order {
+	t.w.walk(func(_ int, b *bucket) bool {
+		keyBytes := int64(8)
 		if !t.narrow {
 			keyBytes = int64(len(b.keyStr))
 		}
 		s += keyBytes + 8 + 4*int64(len(b.ids))
-	}
+		return true
+	})
 	return s
 }
 

@@ -55,6 +55,14 @@ type Options struct {
 	Seed uint64
 	// Measure selects cosine (default) or Jaccard similarity.
 	Measure Measure
+	// PublishEvery, when > 0, makes Insert and InsertBatch publish a fresh
+	// snapshot as soon as the pending delta reaches that many vectors:
+	// 1 publishes per insert, larger values publish in size-bounded groups.
+	// Publication is O(delta · log #buckets) through the persistent Fenwick
+	// weight index, so per-insert publication stays affordable however many
+	// buckets the tables hold. 0 (the default) keeps publish-on-read:
+	// deltas accumulate until the next read on the Collection.
+	PublishEvery int
 }
 
 func (o *Options) fillDefaults() {
@@ -168,17 +176,33 @@ func (c *Collection) EstimateJoinSize(tau float64) (float64, error) {
 // id. The insert is visible to every subsequent read on this collection;
 // estimators constructed earlier keep answering over the version they were
 // built on. Safe to call concurrently with reads, estimates and other
-// inserts.
+// inserts. With Options.PublishEvery set, Insert also publishes once the
+// pending delta reaches the policy size, so lock-free readers observe fresh
+// versions without issuing reads of their own.
 func (c *Collection) Insert(v Vector) int {
-	return c.index.Insert(v)
+	id := c.index.Insert(v)
+	c.maybePublish()
+	return id
 }
 
 // InsertBatch inserts vectors in order and returns the id of the first.
 // The batch is signed through the batched signature engine, so bulk loading
 // costs far less than repeated Inserts, and readers observe the whole batch
-// atomically at the next read.
+// atomically at the next read (or immediately, under Options.PublishEvery).
 func (c *Collection) InsertBatch(vs []Vector) int {
-	return c.index.InsertBatch(vs)
+	first := c.index.InsertBatch(vs)
+	c.maybePublish()
+	return first
+}
+
+// maybePublish applies the size-based publication policy: cut a new version
+// as soon as the pending delta reaches PublishEvery vectors. The pending
+// count is re-checked inside Snapshot under the writer lock, so concurrent
+// inserts publish each delta exactly once.
+func (c *Collection) maybePublish() {
+	if p := c.opt.PublishEvery; p > 0 && c.index.Pending() >= p {
+		c.index.Snapshot()
+	}
 }
 
 // EstimateJoinSizeCurve estimates the whole selectivity curve J(τ) for a

@@ -1,0 +1,170 @@
+package lshjoin
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPerInsertPublishSoak is the public-layer soak for incremental snapshot
+// publication: a writer streams single-vector inserts into a Collection with
+// PublishEvery=1 (one Fenwick-merged version per insert) while concurrent
+// readers run Estimate, SearchSimilar and ExactJoinSize against whatever
+// version they observe. Run under -race (the CI race job does); the
+// assertions check that every observed version is internally consistent:
+//
+//   - Version, N and PairsSharingBucket (N_H) only ever move forward —
+//     inserts never remove pairs, so any decrease means a reader saw a
+//     half-published or regressed version.
+//   - ExactJoinSize at a fixed τ is non-decreasing for the same reason.
+//   - Estimates stay within [0, C(n,2)] for the n the reader observed after
+//     the estimate (N only grows, so the bound is valid for the estimator's
+//     own version too).
+//   - SearchSimilar ids always fall inside the collection observed after the
+//     call.
+func TestPerInsertPublishSoak(t *testing.T) {
+	const base, extra = 400, 250
+	vecs := fixtureVectors(t, base+extra)
+	coll, err := New(vecs[:base], Options{K: 12, Seed: 91, PublishEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Version() != 1 {
+		t.Fatalf("fresh version = %d", coll.Version())
+	}
+
+	var writerWg, wg sync.WaitGroup
+	stop := make(chan struct{})
+	var estimates, searches, exacts atomic.Int64
+
+	writerWg.Add(1)
+	go func() { // writer: one published version per insert
+		defer writerWg.Done()
+		for _, v := range vecs[base:] {
+			coll.Insert(v)
+		}
+	}()
+
+	// Readers run until told to stop — past the end of the insert stream if
+	// needed, so every reader kind gets iterations in even on one core.
+	reader := func(step func(i int) bool) {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if !step(i) {
+				return
+			}
+		}
+	}
+
+	// Estimator readers: construct a snapshot-bound estimator per iteration
+	// (the per-insert-publication serving pattern) and sanity-check the
+	// estimate against the pair-count bound of the version they saw.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go reader(func(i int) bool {
+			est, err := coll.Estimator(AlgoLSHSS,
+				WithEstimatorSeed(uint64(93+i)),
+				WithSampleBudget(200, 200))
+			if err != nil {
+				t.Errorf("estimator: %v", err)
+				return false
+			}
+			got, err := est.Estimate(0.8)
+			if err != nil {
+				t.Errorf("estimate: %v", err)
+				return false
+			}
+			n := int64(coll.N()) // ≥ the estimator's version size
+			if got < 0 || got > float64(n*(n-1)/2) {
+				t.Errorf("estimate %v outside [0, C(%d,2)]", got, n)
+				return false
+			}
+			estimates.Add(1)
+			return true
+		})
+	}
+
+	// Search reader: candidate ids must exist in the collection.
+	wg.Add(1)
+	go reader(func(i int) bool {
+		ids := coll.SearchSimilar(vecs[i%base], 0.5)
+		n := coll.N()
+		for _, id := range ids {
+			if id < 0 || id >= n {
+				t.Errorf("search id %d outside collection of %d", id, n)
+				return false
+			}
+		}
+		searches.Add(1)
+		return true
+	})
+
+	// Monotonicity reader: version, size, N_H and the exact join size at a
+	// fixed τ can only grow while inserts stream in.
+	var lastVer uint64
+	var lastN int
+	var lastNH, lastJoin int64
+	wg.Add(1)
+	go reader(func(i int) bool {
+		ver, n, nh := coll.Version(), coll.N(), coll.PairsSharingBucket()
+		join, err := coll.ExactJoinSize(0.7)
+		if err != nil {
+			t.Errorf("exact join: %v", err)
+			return false
+		}
+		if ver < lastVer || n < lastN || nh < lastNH || join < lastJoin {
+			t.Errorf("regression: ver %d→%d n %d→%d nh %d→%d join %d→%d",
+				lastVer, ver, lastN, n, lastNH, nh, lastJoin, join)
+			return false
+		}
+		lastVer, lastN, lastNH, lastJoin = ver, n, nh, join
+		exacts.Add(1)
+		return true
+	})
+
+	writerWg.Wait()
+	// Let every reader kind complete at least one iteration against the
+	// converged collection before shutting the soak down.
+	deadline := time.Now().Add(10 * time.Second)
+	for estimates.Load() == 0 || searches.Load() == 0 || exacts.Load() == 0 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Per-insert policy: every insert published, nothing left pending — the
+	// final version must already reflect all vectors without a publish-on-read.
+	if n := coll.N(); n != base+extra {
+		t.Fatalf("final N = %d, want %d", n, base+extra)
+	}
+	if v := coll.Version(); v != uint64(1+extra) {
+		t.Fatalf("final version = %d, want %d (one per insert)", v, 1+extra)
+	}
+	if estimates.Load() == 0 || searches.Load() == 0 || exacts.Load() == 0 {
+		t.Fatalf("a reader never completed an iteration: est=%d search=%d exact=%d",
+			estimates.Load(), searches.Load(), exacts.Load())
+	}
+	// The converged collection answers exactly like a freshly built one.
+	fresh, err := New(vecs, Options{K: 12, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJoin, _ := fresh.ExactJoinSize(0.7)
+	gotJoin, _ := coll.ExactJoinSize(0.7)
+	if wantJoin != gotJoin {
+		t.Fatalf("exact join after soak %d, fresh build %d", gotJoin, wantJoin)
+	}
+	if fresh.PairsSharingBucket() != coll.PairsSharingBucket() {
+		t.Fatalf("N_H after soak %d, fresh build %d",
+			coll.PairsSharingBucket(), fresh.PairsSharingBucket())
+	}
+}
