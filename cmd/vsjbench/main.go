@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,20 +22,30 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id: "+strings.Join(experiments.IDs(), " | "))
-		all     = flag.Bool("all", false, "run the full suite")
-		dblp    = flag.Int("dblp", 0, "DBLP-like collection size (default 20000)")
-		nyt     = flag.Int("nyt", 0, "NYT-like collection size (default 5000)")
-		pubmed  = flag.Int("pubmed", 0, "PUBMED-like collection size (default 8000)")
-		reps    = flag.Int("reps", 0, "estimates per cell (default 50; paper uses 100)")
-		seed    = flag.Uint64("seed", 0, "suite seed (default 42)")
-		out     = flag.String("out", "", "write markdown to file instead of stdout")
-		perf    = flag.Bool("perf", false, "time the LSH hot paths and emit JSON instead of running experiments")
-		perfout = flag.String("perfout", "BENCH_lsh.json", "output path for -perf (\"-\" for stdout)")
+		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.IDs(), " | "))
+		all      = flag.Bool("all", false, "run the full suite")
+		dblp     = flag.Int("dblp", 0, "DBLP-like collection size (default 20000)")
+		nyt      = flag.Int("nyt", 0, "NYT-like collection size (default 5000)")
+		pubmed   = flag.Int("pubmed", 0, "PUBMED-like collection size (default 8000)")
+		reps     = flag.Int("reps", 0, "estimates per cell (default 50; paper uses 100)")
+		seed     = flag.Uint64("seed", 0, "suite seed (default 42)")
+		out      = flag.String("out", "", "write markdown to file instead of stdout")
+		perf     = flag.Bool("perf", false, "time the LSH hot paths and emit JSON instead of running experiments")
+		perfout  = flag.String("perfout", "BENCH_lsh.json", "output path for -perf (\"-\" for stdout)")
+		maxprocs = flag.Int("gomaxprocs", 1, "pin GOMAXPROCS for -perf so recorded timings are comparable across machines (0 keeps the runner's value)")
+		compare  = flag.String("compare", "", "with -perf: baseline JSON to gate the fresh timings against; exit 1 on hot-path regression")
+		tol      = flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression per gated benchmark for -compare")
 	)
 	flag.Parse()
 	if *perf {
-		if err := runPerf(*perfout); err != nil {
+		if *maxprocs > 0 {
+			runtime.GOMAXPROCS(*maxprocs)
+		}
+		report, err := runPerf(*perfout)
+		if err == nil && *compare != "" {
+			err = comparePerf(*compare, report, *tol)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "vsjbench:", err)
 			os.Exit(1)
 		}

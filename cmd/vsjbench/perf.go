@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -19,10 +20,17 @@ import (
 // layer (index build, per-vector signing, LSH-SS estimation, candidate
 // retrieval, snapshot publication — including per-insert publication through
 // the Fenwick weight index at two bucket counts, against an emulated eager
-// prefix-sum rebuild — and a mixed Estimate+Insert serving workload) with
-// testing.Benchmark and writes the results as JSON. The file is committed as
-// BENCH_lsh.json at the repo root so future changes can be diffed against
-// the recorded baseline.
+// prefix-sum rebuild — and mixed Estimate+Insert serving workloads, single
+// index and 4-shard) with testing.Benchmark and writes the results as JSON.
+// The file is committed as BENCH_lsh.json at the repo root so future changes
+// can be diffed against the recorded baseline; GOMAXPROCS is pinned by the
+// -gomaxprocs flag (default 1) before any benchmark runs, so entries are
+// comparable across machines.
+//
+// `-perf -compare <baseline.json>` is the CI perf gate: after recording, the
+// gated hot-path benchmarks are checked against the baseline's ns/op with a
+// fractional tolerance (-tolerance, default ±30%), and any regression — or a
+// gated benchmark missing from either side — fails the run.
 
 type perfResult struct {
 	Name        string  `json:"name"`
@@ -52,7 +60,7 @@ func perfData(n, dims, nnz int, seed uint64) []vecmath.Vector {
 	return data
 }
 
-func runPerf(outPath string) error {
+func runPerf(outPath string) (*perfReport, error) {
 	const (
 		n    = 5000
 		dims = 56000
@@ -62,15 +70,15 @@ func runPerf(outPath string) error {
 	data := perfData(n, dims, nnz, 1)
 	idx, err := lsh.Build(data, lsh.NewSimHash(3), 8, 4)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	snap1, err := lsh.BuildSnapshot(data, lsh.NewSimHash(5), k, 1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	est, err := core.NewLSHSS(snap1, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	report := perfReport{
@@ -231,15 +239,121 @@ func runPerf(outPath string) error {
 		close(stop)
 		wg.Wait()
 	})
+	// Sharded serving workload: same shape as serve_mixed_estimate_insert,
+	// but over a 4-shard collection — background inserts spread across
+	// shards with per-insert publication while the measured loop builds a
+	// merged estimator over the captured shard-snapshot vector and answers
+	// one estimate per op.
+	add("sharded_serve_s4_estimate_insert", func(b *testing.B) {
+		coll, err := lshjoin.NewSharded(data, lshjoin.Options{K: k, Seed: 7, Shards: 4, PublishEvery: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tail := perfData(2000, dims, nnz, 3)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				coll.Insert(tail[i%len(tail)])
+				runtime.Gosched()
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := coll.Estimator(lshjoin.AlgoLSHSS,
+				lshjoin.WithEstimatorSeed(uint64(i+1)),
+				lshjoin.WithSampleBudget(500, 500))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Estimate(0.8); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	buf = append(buf, '\n')
 	if outPath == "" || outPath == "-" {
 		_, err = os.Stdout.Write(buf)
-		return err
+		return &report, err
 	}
-	return os.WriteFile(outPath, buf, 0o644)
+	return &report, os.WriteFile(outPath, buf, 0o644)
+}
+
+// gatedBenchmarks names the hot paths the CI perf gate enforces: index
+// build, candidate retrieval, estimation, snapshot publication and the two
+// serving workloads. Non-gated entries (the emulated pre-Fenwick rebuild,
+// the naive signing baseline) are recorded for trajectory only.
+var gatedBenchmarks = []string{
+	"build_k20_l1",
+	"query_k8_l4",
+	"estimate_lshss_tau08",
+	"snapshot_publish_after_insert",
+	"publish_per_insert",
+	"insert_batch_1000_k20_publish",
+	"serve_mixed_estimate_insert",
+	"sharded_serve_s4_estimate_insert",
+}
+
+// comparePerf gates a fresh perf report against the committed baseline:
+// every gated benchmark must exist on both sides and its fresh ns/op must
+// not exceed baseline·(1+tol). Exceeding the tolerance — or a missing gated
+// entry — returns an error listing every violation.
+func comparePerf(baselinePath string, fresh *perfReport, tol float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("perf gate: %w", err)
+	}
+	var baseline perfReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("perf gate: parsing %s: %w", baselinePath, err)
+	}
+	if fresh.GOMAXPROCS != baseline.GOMAXPROCS {
+		fmt.Fprintf(os.Stderr, "perf gate: warning: GOMAXPROCS %d vs baseline %d — timings may not be comparable\n",
+			fresh.GOMAXPROCS, baseline.GOMAXPROCS)
+	}
+	index := func(r *perfReport) map[string]perfResult {
+		m := make(map[string]perfResult, len(r.Results))
+		for _, res := range r.Results {
+			m[res.Name] = res
+		}
+		return m
+	}
+	base, cur := index(&baseline), index(fresh)
+	var violations []string
+	for _, name := range gatedBenchmarks {
+		b, okB := base[name]
+		c, okC := cur[name]
+		switch {
+		case !okB:
+			violations = append(violations, fmt.Sprintf("%s: missing from baseline %s (re-record it)", name, baselinePath))
+		case !okC:
+			violations = append(violations, fmt.Sprintf("%s: missing from fresh run", name))
+		case c.NsPerOp > b.NsPerOp*(1+tol):
+			violations = append(violations, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%% > +%.0f%% tolerance)",
+				name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol))
+		default:
+			fmt.Fprintf(os.Stderr, "perf gate: ok %-36s %10.0f ns/op (baseline %10.0f, %+.0f%%)\n",
+				name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("perf gate: %d hot-path regression(s):\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+	return nil
 }

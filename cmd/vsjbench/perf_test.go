@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// gateReport builds a report covering every gated benchmark at the given
+// ns/op, so the comparison logic can be exercised without running real
+// benchmarks.
+func gateReport(ns float64) *perfReport {
+	r := &perfReport{GoVersion: "test", GOMAXPROCS: 1, Corpus: "synthetic"}
+	for _, name := range gatedBenchmarks {
+		r.Results = append(r.Results, perfResult{Name: name, NsPerOp: ns})
+	}
+	return r
+}
+
+func writeReport(t *testing.T, r *perfReport) string {
+	t.Helper()
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePerfWithinTolerance(t *testing.T) {
+	base := writeReport(t, gateReport(1000))
+	if err := comparePerf(base, gateReport(1250), 0.30); err != nil {
+		t.Fatalf("+25%% rejected at ±30%%: %v", err)
+	}
+	// Speedups always pass.
+	if err := comparePerf(base, gateReport(10), 0.30); err != nil {
+		t.Fatalf("speedup rejected: %v", err)
+	}
+}
+
+func TestComparePerfRegressionFails(t *testing.T) {
+	base := writeReport(t, gateReport(1000))
+	err := comparePerf(base, gateReport(1400), 0.30)
+	if err == nil {
+		t.Fatal("+40% accepted at ±30%")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	for _, name := range gatedBenchmarks {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("violation list missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestComparePerfMissingEntryFails(t *testing.T) {
+	base := writeReport(t, gateReport(1000))
+	fresh := gateReport(1000)
+	fresh.Results = fresh.Results[:len(fresh.Results)-1] // drop one gated entry
+	if err := comparePerf(base, fresh, 0.30); err == nil {
+		t.Fatal("missing gated benchmark accepted")
+	}
+	// And the other direction: a stale baseline must be called out too.
+	short := gateReport(1000)
+	short.Results = short.Results[1:]
+	stale := writeReport(t, short)
+	if err := comparePerf(stale, gateReport(1000), 0.30); err == nil {
+		t.Fatal("gated benchmark missing from baseline accepted")
+	}
+}
+
+func TestComparePerfBadBaseline(t *testing.T) {
+	if err := comparePerf(filepath.Join(t.TempDir(), "nope.json"), gateReport(1), 0.3); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := comparePerf(bad, gateReport(1), 0.3); err == nil {
+		t.Fatal("unparseable baseline accepted")
+	}
+}
+
+// The committed BENCH_lsh.json must stay in sync with the gated set: every
+// gated benchmark has a recorded baseline entry (otherwise the CI gate can
+// never pass), recorded at the pinned GOMAXPROCS=1.
+func TestCommittedBaselineCoversGate(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_lsh.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline perfReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if baseline.GOMAXPROCS != 1 {
+		t.Errorf("baseline recorded at GOMAXPROCS=%d, want 1 (vsjbench -perf -gomaxprocs 1)", baseline.GOMAXPROCS)
+	}
+	have := map[string]bool{}
+	for _, r := range baseline.Results {
+		have[r.Name] = true
+	}
+	for _, name := range gatedBenchmarks {
+		if !have[name] {
+			t.Errorf("BENCH_lsh.json missing gated benchmark %q — re-record with vsjbench -perf", name)
+		}
+	}
+}

@@ -48,6 +48,19 @@
 // (or any delta size) and Insert cuts a fresh lock-free version under
 // that policy; leave it 0 to publish lazily on the next read.
 //
+// For write-heavy serving, NewSharded partitions the key space across
+// Options.Shards independent index shards. Routing is consistent
+// key-hashing over vector content, so a vector's home shard is a pure
+// function of its value; inserts on different shards never contend, and
+// each shard publishes its own versions under the same incremental
+// machinery. Reads capture a shard-snapshot vector (one atomic pointer
+// load per shard) and estimators merge the per-shard statistics exactly:
+// bucket keys are shard-invariant, so the union stratum H decomposes into
+// per-shard N_H sums plus cross-shard bipartite bucket matchings, and
+// every algorithm of the paper answers over shards. A ShardedCollection
+// with Shards == 1 is guaranteed draw-for-draw identical to a Collection
+// built from the same vectors and options.
+//
 // # Performance
 //
 // Index construction and bulk loading run through a batched signature

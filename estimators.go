@@ -5,6 +5,7 @@ import (
 
 	"lshjoin/internal/core"
 	"lshjoin/internal/lc"
+	"lshjoin/internal/lsh"
 	"lshjoin/internal/xrand"
 )
 
@@ -111,6 +112,94 @@ func (s *seeded) Estimate(tau float64) (float64, error) {
 	return s.inner.Estimate(tau, s.rng)
 }
 
+// ssOptions converts the generic estimator options to LSH-SS options, with
+// sample sizes defaulting to n (the paper's choice).
+func (o *estOpts) ssOptions(n int) []core.LSHSSOption {
+	var ssOpts []core.LSHSSOption
+	if o.sampleH > 0 || o.sampleL > 0 {
+		h, l := o.sampleH, o.sampleL
+		if h <= 0 {
+			h = n
+		}
+		if l <= 0 {
+			l = n
+		}
+		ssOpts = append(ssOpts, core.WithSampleSizes(h, l))
+	}
+	if o.delta > 0 {
+		ssOpts = append(ssOpts, core.WithDelta(o.delta))
+	}
+	return ssOpts
+}
+
+// buildEstimator constructs the requested algorithm over a captured
+// shard-snapshot vector — the one algorithm switch behind both Collection
+// (which wraps its single snapshot via lsh.SingleSnapshot) and
+// ShardedCollection. The merged constructors all delegate to their
+// single-snapshot counterparts at S = 1, so the unsharded path is
+// draw-for-draw what it always was; at S > 1 the LSH-SS family, the median
+// and virtual-bucket estimators sample through the merged per-table weight
+// views (per-shard N_H plus cross-shard bipartite N_H — exactly the union
+// index's stratum H), J_U and LSH-S consume the exact merged N_H, and the
+// sampling baselines and Lattice Counting run over the dense union corpus.
+func buildEstimator(gs *lsh.GroupSnapshot, family lsh.Family, sim core.SimFunc, opt Options, algo Algorithm, o estOpts) (core.Estimator, error) {
+	ssOpts := o.ssOptions(gs.N())
+	var inner core.Estimator
+	var err error
+	switch algo {
+	case AlgoLSHSS:
+		if o.damp > 0 {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
+		}
+		inner, err = core.NewMergedLSHSS(gs, sim, ssOpts...)
+	case AlgoLSHSSD:
+		if o.damp > 0 {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
+		} else {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampAuto, 0))
+		}
+		inner, err = core.NewMergedLSHSS(gs, sim, ssOpts...)
+	case AlgoRSPop:
+		inner, err = core.NewRSPop(gs.Data(), sim, o.sampleH)
+	case AlgoRSCross:
+		inner, err = core.NewRSCross(gs.Data(), sim, o.sampleH)
+	case AlgoLSHS:
+		inner, err = core.NewMergedLSHS(gs, o.sampleH)
+	case AlgoJU:
+		inner, err = core.NewMergedJU(gs, core.JUClosedForm)
+	case AlgoJUNumeric:
+		inner, err = core.NewMergedJU(gs, core.JUNumeric)
+	case AlgoLC:
+		cfg := lc.Config{K: opt.K, Seed: o.seed}
+		if o.support > 0 {
+			cfg.MinSupport = o.support
+		}
+		inner, err = lc.New(gs.Data(), family, cfg)
+	case AlgoMedian:
+		if opt.Tables < 2 {
+			return nil, fmt.Errorf("lshjoin: %s needs Options.Tables > 1 (have %d)", algo, opt.Tables)
+		}
+		if o.damp > 0 {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
+		}
+		inner, err = core.NewMergedMedianSS(gs, sim, ssOpts...)
+	case AlgoVirtual:
+		if opt.Tables < 2 {
+			return nil, fmt.Errorf("lshjoin: %s needs Options.Tables > 1 (have %d)", algo, opt.Tables)
+		}
+		if o.damp > 0 {
+			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
+		}
+		inner, err = core.NewMergedVirtualSS(gs, sim, ssOpts...)
+	default:
+		return nil, fmt.Errorf("lshjoin: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: %s: %w", algo, err)
+	}
+	return inner, nil
+}
+
 // Estimator constructs the requested algorithm over this collection.
 func (c *Collection) Estimator(algo Algorithm, opts ...EstimatorOption) (Estimator, error) {
 	var o estOpts
@@ -122,74 +211,30 @@ func (c *Collection) Estimator(algo Algorithm, opts ...EstimatorOption) (Estimat
 	}
 	// Bind to the collection version current at construction; the estimator
 	// reads this immutable snapshot for its whole lifetime.
-	snap := c.snap()
-	vectors := snap.Data()
-	var ssOpts []core.LSHSSOption
-	if o.sampleH > 0 || o.sampleL > 0 {
-		h, l := o.sampleH, o.sampleL
-		if h <= 0 {
-			h = len(vectors)
-		}
-		if l <= 0 {
-			l = len(vectors)
-		}
-		ssOpts = append(ssOpts, core.WithSampleSizes(h, l))
-	}
-	if o.delta > 0 {
-		ssOpts = append(ssOpts, core.WithDelta(o.delta))
-	}
-	var inner core.Estimator
-	var err error
-	switch algo {
-	case AlgoLSHSS:
-		if o.damp > 0 {
-			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
-		}
-		inner, err = core.NewLSHSS(snap, c.sim, ssOpts...)
-	case AlgoLSHSSD:
-		if o.damp > 0 {
-			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
-		} else {
-			ssOpts = append(ssOpts, core.WithDamp(core.DampAuto, 0))
-		}
-		inner, err = core.NewLSHSS(snap, c.sim, ssOpts...)
-	case AlgoRSPop:
-		inner, err = core.NewRSPop(vectors, c.sim, o.sampleH)
-	case AlgoRSCross:
-		inner, err = core.NewRSCross(vectors, c.sim, o.sampleH)
-	case AlgoLSHS:
-		inner, err = core.NewLSHS(snap, o.sampleH)
-	case AlgoJU:
-		inner, err = core.NewJU(snap, core.JUClosedForm)
-	case AlgoJUNumeric:
-		inner, err = core.NewJU(snap, core.JUNumeric)
-	case AlgoLC:
-		cfg := lc.Config{K: c.opt.K, Seed: o.seed}
-		if o.support > 0 {
-			cfg.MinSupport = o.support
-		}
-		inner, err = lc.New(vectors, c.family, cfg)
-	case AlgoMedian:
-		if c.opt.Tables < 2 {
-			return nil, fmt.Errorf("lshjoin: %s needs Options.Tables > 1 (have %d)", algo, c.opt.Tables)
-		}
-		if o.damp > 0 {
-			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
-		}
-		inner, err = core.NewMedianSS(snap, c.sim, ssOpts...)
-	case AlgoVirtual:
-		if c.opt.Tables < 2 {
-			return nil, fmt.Errorf("lshjoin: %s needs Options.Tables > 1 (have %d)", algo, c.opt.Tables)
-		}
-		if o.damp > 0 {
-			ssOpts = append(ssOpts, core.WithDamp(core.DampConst, o.damp))
-		}
-		inner, err = core.NewVirtualSS(snap, c.sim, ssOpts...)
-	default:
-		return nil, fmt.Errorf("lshjoin: unknown algorithm %q", algo)
-	}
+	inner, err := buildEstimator(lsh.SingleSnapshot(c.snap()), c.family, c.sim, c.opt, algo, o)
 	if err != nil {
-		return nil, fmt.Errorf("lshjoin: %s: %w", algo, err)
+		return nil, err
+	}
+	return &seeded{inner: inner, rng: xrand.New(o.seed)}, nil
+}
+
+// Estimator constructs the requested algorithm over this sharded collection.
+// Every algorithm of the paper is available over shards; with one shard the
+// construction delegates to the single-index path, so estimates are
+// draw-for-draw those of an equivalent Collection.
+func (c *ShardedCollection) Estimator(algo Algorithm, opts ...EstimatorOption) (Estimator, error) {
+	var o estOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.seed == 0 {
+		o.seed = c.nextSeed()
+	}
+	// Bind to the shard-snapshot vector captured now; the estimator reads
+	// these immutable per-shard versions for its whole lifetime.
+	inner, err := buildEstimator(c.capture(), c.family, c.sim, c.opt, algo, o)
+	if err != nil {
+		return nil, err
 	}
 	return &seeded{inner: inner, rng: xrand.New(o.seed)}, nil
 }

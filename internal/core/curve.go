@@ -40,30 +40,30 @@ func (e *LSHSS) EstimateCurve(taus []float64, rng *xrand.RNG) ([]float64, error)
 	sort.Slice(order, func(a, b int) bool { return taus[order[a]] < taus[order[b]] })
 
 	// One SampleH pass: record similarities.
-	nh := e.table.NH()
+	nh := e.strat.NH()
 	simsH := make([]float64, 0, e.mH)
 	if nh > 0 {
 		for s := 0; s < e.mH; s++ {
-			i, j, ok := e.table.SamplePair(rng)
+			i, j, ok := e.strat.SamplePair(rng)
 			if !ok {
 				break
 			}
-			simsH = append(simsH, e.sim(e.data[i], e.data[j]))
+			simsH = append(simsH, e.sim(e.view.At(i), e.view.At(j)))
 		}
 	}
 	sort.Float64s(simsH)
 
 	// One SampleL stream: record similarities in draw order.
-	nl := e.table.NL()
+	nl := e.strat.NL()
 	simsL := make([]float64, 0, e.mL)
 	if nl > 0 {
-		notSame := func(i, j int) bool { return !e.table.SameBucket(i, j) }
+		notSame := func(i, j int) bool { return !e.strat.SameBucket(i, j) }
 		for s := 0; s < e.mL; s++ {
-			i, j, ok := sample.RejectPair(rng, len(e.data), notSame, e.maxReject)
+			i, j, ok := sample.RejectPair(rng, e.n, notSame, e.maxReject)
 			if !ok {
 				break
 			}
-			simsL = append(simsL, e.sim(e.data[i], e.data[j]))
+			simsL = append(simsL, e.sim(e.view.At(i), e.view.At(j)))
 		}
 	}
 
@@ -108,7 +108,7 @@ func (e *LSHSS) EstimateCurve(taus []float64, rng *xrand.RNG) ([]float64, error)
 				}
 			}
 		}
-		out[idx] = clampEstimate(jh+jl, float64(e.table.M()))
+		out[idx] = clampEstimate(jh+jl, float64(e.strat.M()))
 	}
 	return out, nil
 }

@@ -20,7 +20,8 @@ import (
 // (2)–(3) by numeric integration — the ablation DESIGN.md calls out for
 // sign-random-projection, whose p(s) = 1 − arccos(s)/π.
 type JU struct {
-	table  *lsh.Table
+	m, nh  int64 // M = C(n, 2) and N_H of the stratifying table (or merged view)
+	k      int
 	family lsh.Family
 	mode   JUMode
 }
@@ -39,10 +40,18 @@ func NewJU(snap *lsh.Snapshot, mode JUMode) (*JU, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("core: JU needs an index snapshot")
 	}
+	tab := snap.Table(0)
+	return newJUFrom(tab.M(), tab.NH(), tab.K(), snap.Family(), mode)
+}
+
+// newJUFrom builds the estimator from the summary statistics it actually
+// consumes — JU reads nothing but (M, N_H, k) and the family's collision
+// curve, which is why a sharded group can feed it the exact merged N_H.
+func newJUFrom(m, nh int64, k int, family lsh.Family, mode JUMode) (*JU, error) {
 	if mode != JUClosedForm && mode != JUNumeric {
 		return nil, fmt.Errorf("core: unknown JU mode %d", mode)
 	}
-	return &JU{table: snap.Table(0), family: snap.Family(), mode: mode}, nil
+	return &JU{m: m, nh: nh, k: k, family: family, mode: mode}, nil
 }
 
 // Name implements Estimator.
@@ -58,9 +67,9 @@ func (e *JU) Estimate(tau float64, _ *xrand.RNG) (float64, error) {
 	if err := validateTau(tau); err != nil {
 		return 0, err
 	}
-	m := float64(e.table.M())
-	nh := float64(e.table.NH())
-	k := e.table.K()
+	m := float64(e.m)
+	nh := float64(e.nh)
+	k := e.k
 	var est float64
 	switch e.mode {
 	case JUClosedForm:

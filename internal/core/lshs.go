@@ -6,7 +6,6 @@ import (
 
 	"lshjoin/internal/lsh"
 	"lshjoin/internal/sample"
-	"lshjoin/internal/vecmath"
 	"lshjoin/internal/xrand"
 )
 
@@ -22,10 +21,12 @@ import (
 // the analytic P(H|T) of the uniformity analysis, which is exactly why its
 // high-threshold estimates are unreliable.
 type LSHS struct {
-	table  *lsh.Table
-	family lsh.Family
-	data   []vecmath.Vector
-	m      int
+	mPairs, nh int64 // M = C(n, 2) and N_H of the stratifying table (or merged view)
+	k          int
+	family     lsh.Family
+	view       dataView
+	n          int
+	m          int
 }
 
 // NewLSHS builds the estimator over table 0 of an index snapshot; m is the
@@ -35,13 +36,21 @@ func NewLSHS(snap *lsh.Snapshot, m int) (*LSHS, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("core: LSH-S needs an index snapshot")
 	}
-	if snap.N() < 2 {
-		return nil, fmt.Errorf("core: LSH-S needs at least 2 vectors, got %d", snap.N())
+	tab := snap.Table(0)
+	return newLSHSFrom(tab.M(), tab.NH(), tab.K(), snap.Family(), sliceView(snap.Data()), snap.N(), m)
+}
+
+// newLSHSFrom builds the estimator from its summary statistics plus a vector
+// view — the form the sharded constructors feed with merged N_H and the
+// dense union corpus.
+func newLSHSFrom(mPairs, nh int64, k int, family lsh.Family, view dataView, n, m int) (*LSHS, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: LSH-S needs at least 2 vectors, got %d", n)
 	}
 	if m <= 0 {
-		m = snap.N()
+		m = n
 	}
-	return &LSHS{table: snap.Table(0), family: snap.Family(), data: snap.Data(), m: m}, nil
+	return &LSHS{mPairs: mPairs, nh: nh, k: k, family: family, view: view, n: n, m: m}, nil
 }
 
 // Name implements Estimator.
@@ -52,15 +61,15 @@ func (e *LSHS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 	if err := validateTau(tau); err != nil {
 		return 0, err
 	}
-	k := float64(e.table.K())
+	k := float64(e.k)
 	f := func(s float64) float64 {
 		return math.Pow(e.family.CollisionProb(s), k)
 	}
 	var sumT, sumF float64
 	var nT, nF int
 	for s := 0; s < e.m; s++ {
-		i, j := sample.UniformPair(rng, len(e.data))
-		sim := e.family.Sim(e.data[i], e.data[j])
+		i, j := sample.UniformPair(rng, e.n)
+		sim := e.family.Sim(e.view.At(i), e.view.At(j))
 		if sim >= tau {
 			sumT += f(sim)
 			nT++
@@ -74,16 +83,16 @@ func (e *LSHS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 		pht = sumT / float64(nT)
 	} else {
 		// No true pair sampled: fall back to the LSH-function analysis.
-		pht, _ = conditionalProbs(e.family, e.table.K(), tau)
+		pht, _ = conditionalProbs(e.family, e.k, tau)
 	}
 	var phf float64
 	if nF > 0 {
 		phf = sumF / float64(nF)
 	} else {
-		_, phf = conditionalProbs(e.family, e.table.K(), tau)
+		_, phf = conditionalProbs(e.family, e.k, tau)
 	}
-	m := float64(e.table.M())
-	nh := float64(e.table.NH())
+	m := float64(e.mPairs)
+	nh := float64(e.nh)
 	if pht-phf <= 0 {
 		return 0, nil
 	}

@@ -27,6 +27,36 @@ const (
 	DampConst
 )
 
+// stratum abstracts the pair-space partition LSH-SS samples over: stratum H
+// (co-bucketed pairs, weight-sampled) versus everything else. One LSH table
+// implements it directly; a sharded group's merged per-table view (see
+// sharded.go) implements it by combining per-shard weights, which is what
+// lets one Algorithm 1 implementation serve both single and sharded indexes.
+type stratum interface {
+	// M is the total number of unordered pairs C(n, 2).
+	M() int64
+	// NH is the number of pairs sharing a bucket.
+	NH() int64
+	// NL is M − N_H.
+	NL() int64
+	// SamplePair draws a uniform random stratum-H pair; ok is false when
+	// N_H = 0.
+	SamplePair(rng *xrand.RNG) (i, j int, ok bool)
+	// SameBucket reports whether the pair (i, j) belongs to stratum H.
+	SameBucket(i, j int) bool
+}
+
+// dataView abstracts vector access by id so estimators read either a plain
+// snapshot slice or a sharded group's dense union view.
+type dataView interface {
+	At(i int) vecmath.Vector
+}
+
+// sliceView adapts a vector slice to dataView.
+type sliceView []vecmath.Vector
+
+func (s sliceView) At(i int) vecmath.Vector { return s[i] }
+
 // LSHSS is Algorithm 1 of the paper: stratified sampling over the two strata
 // induced by one LSH table. SampleH draws m_H uniform pairs from stratum H
 // (co-bucketed pairs, each drawn by an O(log #buckets) descent of the
@@ -35,8 +65,9 @@ const (
 // only when it observed at least δ true pairs and otherwise returning a safe
 // lower bound (or a dampened scale-up). The final estimate is Ĵ = Ĵ_H + Ĵ_L.
 type LSHSS struct {
-	table *lsh.Table
-	data  []vecmath.Vector
+	strat stratum
+	view  dataView
+	n     int
 	sim   SimFunc
 
 	tableIdx    int
@@ -81,23 +112,19 @@ func WithTable(t int) LSHSSOption {
 	return func(e *LSHSS) { e.tableIdx = t }
 }
 
-// NewLSHSS builds the estimator over one table of an index snapshot. The
-// estimator binds to the snapshot at construction: it answers over that
-// immutable version forever, unaffected by concurrent inserts into the
-// owning index. sim defaults to cosine.
-func NewLSHSS(snap *lsh.Snapshot, sim SimFunc, opts ...LSHSSOption) (*LSHSS, error) {
-	if snap == nil {
-		return nil, fmt.Errorf("core: LSH-SS needs an index snapshot")
-	}
-	if snap.N() < 2 {
-		return nil, fmt.Errorf("core: LSH-SS needs at least 2 vectors, got %d", snap.N())
+// newSSBase resolves the n-scaled defaults and options shared by every
+// LSH-SS-family constructor (single-table, merged, virtual-bucket probe) and
+// validates them; the caller then binds strat/view/n.
+func newSSBase(n int, sim SimFunc, opts []LSHSSOption) (*LSHSS, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: LSH-SS needs at least 2 vectors, got %d", n)
 	}
 	if sim == nil {
 		sim = vecmath.Cosine
 	}
-	n := snap.N()
 	e := &LSHSS{
 		sim:       sim,
+		n:         n,
 		mH:        n,
 		mL:        n,
 		delta:     int(math.Ceil(math.Log2(float64(n)))),
@@ -108,11 +135,6 @@ func NewLSHSS(snap *lsh.Snapshot, sim SimFunc, opts ...LSHSSOption) (*LSHSS, err
 	for _, opt := range opts {
 		opt(e)
 	}
-	if e.tableIdx < 0 || e.tableIdx >= snap.L() {
-		return nil, fmt.Errorf("core: table %d out of range [0, %d)", e.tableIdx, snap.L())
-	}
-	e.table = snap.Table(e.tableIdx)
-	e.data = snap.Data()
 	if e.mH < 1 || e.mL < 1 {
 		return nil, fmt.Errorf("core: sample sizes must be positive (mH=%d, mL=%d)", e.mH, e.mL)
 	}
@@ -122,6 +144,26 @@ func NewLSHSS(snap *lsh.Snapshot, sim SimFunc, opts ...LSHSSOption) (*LSHSS, err
 	if e.damp == DampConst && (e.cs <= 0 || e.cs > 1) {
 		return nil, fmt.Errorf("core: dampening factor must be in (0, 1], got %v", e.cs)
 	}
+	return e, nil
+}
+
+// NewLSHSS builds the estimator over one table of an index snapshot. The
+// estimator binds to the snapshot at construction: it answers over that
+// immutable version forever, unaffected by concurrent inserts into the
+// owning index. sim defaults to cosine.
+func NewLSHSS(snap *lsh.Snapshot, sim SimFunc, opts ...LSHSSOption) (*LSHSS, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: LSH-SS needs an index snapshot")
+	}
+	e, err := newSSBase(snap.N(), sim, opts)
+	if err != nil {
+		return nil, err
+	}
+	if e.tableIdx < 0 || e.tableIdx >= snap.L() {
+		return nil, fmt.Errorf("core: table %d out of range [0, %d)", e.tableIdx, snap.L())
+	}
+	e.strat = snap.Table(e.tableIdx)
+	e.view = sliceView(snap.Data())
 	return e, nil
 }
 
@@ -163,7 +205,7 @@ func (e *LSHSS) EstimateDetailed(tau float64, rng *xrand.RNG) (Detail, error) {
 	}
 	d := e.sampleH(tau, rng)
 	e.sampleL(tau, rng, &d)
-	d.Estimate = clampEstimate(d.JH+d.JL, float64(e.table.M()))
+	d.Estimate = clampEstimate(d.JH+d.JL, float64(e.strat.M()))
 	return d, nil
 }
 
@@ -174,7 +216,7 @@ func (e *LSHSS) EstimateDetailed(tau float64, rng *xrand.RNG) (Detail, error) {
 // for any GOMAXPROCS.
 func (e *LSHSS) sampleH(tau float64, rng *xrand.RNG) Detail {
 	var d Detail
-	nh := e.table.NH()
+	nh := e.strat.NH()
 	if nh == 0 {
 		return d // empty stratum contributes nothing
 	}
@@ -186,11 +228,11 @@ func (e *LSHSS) sampleH(tau float64, rng *xrand.RNG) Detail {
 		q := shardQuota(e.mH, shards, s)
 		h := 0
 		for x := 0; x < q; x++ {
-			i, j, ok := e.table.SamplePair(r)
+			i, j, ok := e.strat.SamplePair(r)
 			if !ok {
 				break
 			}
-			if e.sim(e.data[i], e.data[j]) >= tau {
+			if e.sim(e.view.At(i), e.view.At(j)) >= tau {
 				h++
 			}
 		}
@@ -223,11 +265,11 @@ type lShard struct {
 // earlier shards can only add hits, so the merged walk is guaranteed to
 // terminate at or before that point and never consults the unrecorded tail.
 func (e *LSHSS) sampleL(tau float64, rng *xrand.RNG, d *Detail) {
-	nl := e.table.NL()
+	nl := e.strat.NL()
 	if nl == 0 {
 		return
 	}
-	notSame := func(i, j int) bool { return !e.table.SameBucket(i, j) }
+	notSame := func(i, j int) bool { return !e.strat.SameBucket(i, j) }
 	shards := sampleShards(e.mL)
 	rngs := rng.SplitN(shards)
 	outs := make([]lShard, shards)
@@ -236,12 +278,12 @@ func (e *LSHSS) sampleL(tau float64, rng *xrand.RNG, d *Detail) {
 		q := shardQuota(e.mL, shards, s)
 		o := &outs[s]
 		for x := 0; x < q && len(o.hitPos) < e.delta; x++ {
-			i, j, ok := sample.RejectPair(r, len(e.data), notSame, e.maxReject)
+			i, j, ok := sample.RejectPair(r, e.n, notSame, e.maxReject)
 			if !ok {
 				o.exhausted = true
 				break
 			}
-			if e.sim(e.data[i], e.data[j]) >= tau {
+			if e.sim(e.view.At(i), e.view.At(j)) >= tau {
 				o.hitPos = append(o.hitPos, int32(x))
 			}
 			o.taken++

@@ -58,6 +58,36 @@ func (e *MedianSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 	return stats.Median(ests), nil
 }
 
+// tableView abstracts the multi-table observables the virtual-bucket
+// estimator reads: per-table stratum-H weights and samplers plus the
+// cross-table membership tests. A plain snapshot implements it through
+// snapTables; a sharded group implements it through the merged per-table
+// strata of core/sharded.go.
+type tableView interface {
+	L() int
+	N() int
+	At(i int) vecmath.Vector
+	TableNH(t int) int64
+	SampleTablePair(t int, rng *xrand.RNG) (i, j int, ok bool)
+	SameAnyBucket(i, j int) bool
+	BucketMultiplicity(i, j int) int
+}
+
+// snapTables adapts one index snapshot to tableView.
+type snapTables struct{ s *lsh.Snapshot }
+
+func (v snapTables) L() int                      { return v.s.L() }
+func (v snapTables) N() int                      { return v.s.N() }
+func (v snapTables) At(i int) vecmath.Vector     { return v.s.Data()[i] }
+func (v snapTables) TableNH(t int) int64         { return v.s.Table(t).NH() }
+func (v snapTables) SameAnyBucket(i, j int) bool { return v.s.SameAnyBucket(i, j) }
+func (v snapTables) BucketMultiplicity(i, j int) int {
+	return v.s.BucketMultiplicity(i, j)
+}
+func (v snapTables) SampleTablePair(t int, rng *xrand.RNG) (i, j int, ok bool) {
+	return v.s.Table(t).SamplePair(rng)
+}
+
 // VirtualSS is the virtual-bucket estimator of App. B.2.1: a pair belongs to
 // stratum H if the two vectors share a bucket in ANY of the ℓ tables, which
 // relaxes an overly selective g (large k).
@@ -70,7 +100,7 @@ func (e *MedianSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 // of the pair's bucket multiplicity — which gives unbiased estimates of both
 // |S_H^∪| and J_H. DESIGN.md records this as a documented extension.
 type VirtualSS struct {
-	snap *lsh.Snapshot
+	view tableView
 	sim  SimFunc
 
 	mH, mL    int
@@ -89,26 +119,34 @@ func NewVirtualSS(snap *lsh.Snapshot, sim SimFunc, opts ...LSHSSOption) (*Virtua
 	if snap == nil {
 		return nil, fmt.Errorf("core: virtual-bucket estimator needs an index snapshot")
 	}
-	if snap.N() < 2 {
-		return nil, fmt.Errorf("core: need at least 2 vectors")
-	}
+	return newVirtualSSView(snapTables{s: snap}, sim, opts)
+}
+
+// newVirtualSSView builds the estimator over any multi-table view.
+func newVirtualSSView(view tableView, sim SimFunc, opts []LSHSSOption) (*VirtualSS, error) {
 	if sim == nil {
 		sim = vecmath.Cosine
 	}
-	// Reuse LSHSS option plumbing by materializing one throwaway instance.
-	probe, err := NewLSHSS(snap, sim, opts...)
+	// Reuse LSHSS option plumbing to resolve the n-scaled defaults.
+	probe, err := newSSBase(view.N(), sim, opts)
 	if err != nil {
 		return nil, err
 	}
+	// The virtual-bucket stratum spans all tables, so WithTable is
+	// meaningless here — but an out-of-range index is still a caller
+	// configuration error worth failing fast on.
+	if probe.tableIdx < 0 || probe.tableIdx >= view.L() {
+		return nil, fmt.Errorf("core: table %d out of range [0, %d)", probe.tableIdx, view.L())
+	}
 	mH, mL, delta, damp, cs := probe.Params()
 	e := &VirtualSS{
-		snap: snap, sim: sim,
+		view: view, sim: sim,
 		mH: mH, mL: mL, delta: delta, damp: damp, cs: cs,
 		maxReject: 4096,
 	}
-	e.mixture = make([]float64, snap.L())
-	for t, tab := range snap.Tables() {
-		e.mixture[t] = float64(tab.NH())
+	e.mixture = make([]float64, view.L())
+	for t := range e.mixture {
+		e.mixture[t] = float64(view.TableNH(t))
 		e.totalNH += e.mixture[t]
 	}
 	return e, nil
@@ -124,7 +162,7 @@ func (e *VirtualSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 	}
 	jh := e.sampleH(tau, rng)
 	jl := e.sampleL(tau, rng)
-	return clampEstimate(jh+jl, pairsOf(e.snap.N())), nil
+	return clampEstimate(jh+jl, pairsOf(e.view.N())), nil
 }
 
 // sampleH draws from the per-table mixture with multiplicity correction:
@@ -138,12 +176,12 @@ func (e *VirtualSS) sampleH(tau float64, rng *xrand.RNG) float64 {
 	var sum float64 // Σ [sim ≥ τ]/mult over draws
 	for s := 0; s < e.mH; s++ {
 		t := e.pickTable(rng)
-		i, j, ok := e.snap.Table(t).SamplePair(rng)
+		i, j, ok := e.view.SampleTablePair(t, rng)
 		if !ok {
 			continue
 		}
-		if e.sim(e.snap.Data()[i], e.snap.Data()[j]) >= tau {
-			sum += 1 / float64(e.snap.BucketMultiplicity(i, j))
+		if e.sim(e.view.At(i), e.view.At(j)) >= tau {
+			sum += 1 / float64(e.view.BucketMultiplicity(i, j))
 		}
 	}
 	return sum * e.totalNH / float64(e.mH)
@@ -158,11 +196,11 @@ func (e *VirtualSS) NHVirtual(m int, rng *xrand.RNG) float64 {
 	var sum float64
 	for s := 0; s < m; s++ {
 		t := e.pickTable(rng)
-		i, j, ok := e.snap.Table(t).SamplePair(rng)
+		i, j, ok := e.view.SampleTablePair(t, rng)
 		if !ok {
 			continue
 		}
-		sum += 1 / float64(e.snap.BucketMultiplicity(i, j))
+		sum += 1 / float64(e.view.BucketMultiplicity(i, j))
 	}
 	return sum * e.totalNH / float64(m)
 }
@@ -183,20 +221,20 @@ func (e *VirtualSS) pickTable(rng *xrand.RNG) int {
 // and N_L approximated by M − N̂_H (the union N_H is itself estimated; the
 // approximation error is second-order because N_H ≪ M in any useful index).
 func (e *VirtualSS) sampleL(tau float64, rng *xrand.RNG) float64 {
-	n := e.snap.N()
+	n := e.view.N()
 	m := pairsOf(n)
 	nhHat := e.NHVirtual(minInt(e.mH, 2048), rng)
 	nl := m - nhHat
 	if nl <= 0 {
 		return 0
 	}
-	notSame := func(i, j int) bool { return !e.snap.SameAnyBucket(i, j) }
+	notSame := func(i, j int) bool { return !e.view.SameAnyBucket(i, j) }
 	res := sample.Adaptive(e.delta, e.mL, func() (bool, bool) {
 		i, j, ok := sample.RejectPair(rng, n, notSame, e.maxReject)
 		if !ok {
 			return false, false
 		}
-		return e.sim(e.snap.Data()[i], e.snap.Data()[j]) >= tau, true
+		return e.sim(e.view.At(i), e.view.At(j)) >= tau, true
 	})
 	switch {
 	case res.Reliable:

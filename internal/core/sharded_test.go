@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lshjoin/internal/exactjoin"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/xrand"
+)
+
+// groupAndUnion routes testData into an S-shard group and builds the union
+// snapshot over the group's dense order, so dense ids align across the two.
+func groupAndUnion(t *testing.T, n, k, ell, s int, fam lsh.Family) (*lsh.GroupSnapshot, *lsh.Snapshot) {
+	t.Helper()
+	data := testData(n, 77)
+	g, err := lsh.NewShardGroup(data, fam, k, ell, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := g.Capture()
+	union, err := lsh.BuildSnapshot(gs.Data(), fam, k, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs, union
+}
+
+// The merged stratum must reproduce the union index's stratum statistics
+// exactly: same M, N_H, N_L, per-pair membership, and component cumulative
+// weights that end at N_H.
+func TestMergedStratumMatchesUnion(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fam  lsh.Family
+		k    int
+	}{
+		{"narrow-simhash", lsh.NewSimHash(5), 10},
+		{"wide-minhash", lsh.NewMinHash(5), 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, s := range []int{1, 2, 4} {
+				gs, union := groupAndUnion(t, 150, tc.k, 2, s, tc.fam)
+				for ti := 0; ti < 2; ti++ {
+					ms, err := NewMergedStratum(gs, ti)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tab := union.Table(ti)
+					if ms.M() != tab.M() || ms.NH() != tab.NH() || ms.NL() != tab.NL() {
+						t.Fatalf("s=%d t=%d: merged (M,NH,NL)=(%d,%d,%d), union (%d,%d,%d)",
+							s, ti, ms.M(), ms.NH(), ms.NL(), tab.M(), tab.NH(), tab.NL())
+					}
+					if want := s + s*(s-1)/2; ms.Components() != want {
+						t.Fatalf("s=%d: %d components, want %d", s, ms.Components(), want)
+					}
+					if ms.CumWeight(ms.Components()-1) != ms.NH() {
+						t.Fatalf("cumulative component weights end at %d, NH %d",
+							ms.CumWeight(ms.Components()-1), ms.NH())
+					}
+					for i := 0; i < gs.N(); i++ {
+						for j := i + 1; j < gs.N(); j++ {
+							if got, want := ms.SameBucket(i, j), tab.SameBucket(i, j); got != want {
+								t.Fatalf("s=%d t=%d SameBucket(%d,%d)=%v, union %v", s, ti, i, j, got, want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// SamplePair over the merged stratum is uniform over the union stratum H:
+// every sampled pair is co-bucketed in the union, every union stratum pair
+// is reachable, and frequencies match the uniform expectation.
+func TestMergedSamplePairUniformOverUnionStratum(t *testing.T) {
+	gs, union := groupAndUnion(t, 90, 8, 1, 3, lsh.NewSimHash(9))
+	ms, err := NewMergedStratum(gs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := union.Table(0)
+	if tab.NH() < 3 {
+		t.Skip("bucket structure degenerate for this seed")
+	}
+	rng := xrand.New(5)
+	counts := map[[2]int]int{}
+	const draws = 60000
+	for d := 0; d < draws; d++ {
+		a, b, ok := ms.SamplePair(rng)
+		if !ok {
+			t.Fatal("SamplePair failed with NH > 0")
+		}
+		if a == b {
+			t.Fatal("sampled identical indices")
+		}
+		if !tab.SameBucket(a, b) {
+			t.Fatalf("sampled pair (%d,%d) not co-bucketed in the union", a, b)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		counts[[2]int{a, b}]++
+	}
+	want := float64(draws) / float64(ms.NH())
+	for pair, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("pair %v sampled %d times, want ~%.0f", pair, c, want)
+		}
+	}
+	if int64(len(counts)) != ms.NH() {
+		t.Errorf("observed %d distinct pairs, stratum has %d", len(counts), ms.NH())
+	}
+}
+
+// With one shard the merged constructors delegate: draw-for-draw identical
+// estimates to the single-snapshot constructors.
+func TestMergedSingleShardDelegates(t *testing.T) {
+	gs, union := groupAndUnion(t, 200, 10, 2, 1, lsh.NewSimHash(3))
+	merged, err := NewMergedLSHSS(gs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewLSHSS(union, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{0.5, 0.8, 0.95} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			a, err := merged.Estimate(tau, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := plain.Estimate(tau, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("tau=%v seed=%d: merged %v, plain %v", tau, seed, a, b)
+			}
+		}
+	}
+}
+
+// JU consumes only (M, N_H, k), and the merged N_H is exact, so the sharded
+// JU equals the union JU bit for bit — both modes.
+func TestMergedJUEqualsUnion(t *testing.T) {
+	for _, s := range []int{2, 5} {
+		gs, union := groupAndUnion(t, 180, 8, 1, s, lsh.NewSimHash(11))
+		for _, mode := range []JUMode{JUClosedForm, JUNumeric} {
+			merged, err := NewMergedJU(gs, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := NewJU(union, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tau := range []float64{0.3, 0.7, 0.9} {
+				a, err := merged.Estimate(tau, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := plain.Estimate(tau, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b {
+					t.Fatalf("s=%d mode=%d tau=%v: merged %v, union %v", s, mode, tau, a, b)
+				}
+			}
+		}
+	}
+}
+
+// The merged LSH-SS, median and virtual estimators answer over shards with
+// the accuracy the single-index estimators deliver: within a small factor of
+// the exact join size at a threshold with real selectivity.
+func TestMergedEstimatorsTrackExactJoin(t *testing.T) {
+	gs, _ := groupAndUnion(t, 400, 8, 3, 4, lsh.NewSimHash(7))
+	joiner := exactjoin.NewJoiner(gs.Data())
+	const tau = 0.8
+	exact, err := joiner.CountAt(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact < 10 {
+		t.Skipf("degenerate corpus: exact join %d", exact)
+	}
+	build := map[string]func() (Estimator, error){
+		"lshss":   func() (Estimator, error) { return NewMergedLSHSS(gs, nil) },
+		"median":  func() (Estimator, error) { return NewMergedMedianSS(gs, nil) },
+		"virtual": func() (Estimator, error) { return NewMergedVirtualSS(gs, nil) },
+	}
+	for name, mk := range build {
+		est, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Average a few seeded estimates: individual draws are noisy by
+		// design, the mean should sit near the truth.
+		var sum float64
+		const reps = 9
+		for seed := uint64(1); seed <= reps; seed++ {
+			v, err := est.Estimate(tau, xrand.New(seed*97))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			sum += v
+		}
+		mean := sum / reps
+		if ratio := mean / float64(exact); ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: mean estimate %.1f vs exact %d (ratio %.2f)", name, mean, exact, ratio)
+		}
+	}
+}
+
+// The merged curve estimator inherits monotonicity and stays consistent with
+// pointwise merged estimates' scale.
+func TestMergedEstimateCurveMonotone(t *testing.T) {
+	gs, _ := groupAndUnion(t, 300, 8, 1, 3, lsh.NewSimHash(13))
+	e, err := NewMergedLSHSS(gs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.99}
+	curve, err := e.EstimateCurve(taus, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("curve not monotone at %d: %v", i, curve)
+		}
+	}
+}
+
+// Out-of-range table selections fail fast on every constructor, merged or
+// not (the virtual-bucket estimator ignores WithTable but still validates).
+func TestOutOfRangeTableRejected(t *testing.T) {
+	gs, union := groupAndUnion(t, 60, 6, 2, 3, lsh.NewSimHash(3))
+	if _, err := NewVirtualSS(union, nil, WithTable(7)); err == nil {
+		t.Error("VirtualSS accepted out-of-range table")
+	}
+	if _, err := NewMergedVirtualSS(gs, nil, WithTable(7)); err == nil {
+		t.Error("merged VirtualSS accepted out-of-range table")
+	}
+	if _, err := NewMergedLSHSS(gs, nil, WithTable(7)); err == nil {
+		t.Error("merged LSHSS accepted out-of-range table")
+	}
+	if _, err := NewMergedStratum(gs, 9); err == nil {
+		t.Error("MergedStratum accepted out-of-range table")
+	}
+}
+
+// LSH-S over shards uses the merged N_H with the union corpus.
+func TestMergedLSHSRuns(t *testing.T) {
+	gs, union := groupAndUnion(t, 200, 8, 1, 3, lsh.NewSimHash(15))
+	merged, err := NewMergedLSHS(gs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewLSHS(union, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same n, same family, exact same N_H: identical RNG stream gives the
+	// identical estimate even though the estimators were built separately.
+	a, err := merged.Estimate(0.8, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.Estimate(0.8, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("merged LSH-S %v, union %v", a, b)
+	}
+}

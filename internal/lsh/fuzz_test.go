@@ -1,6 +1,10 @@
 package lsh
 
-import "testing"
+import (
+	"testing"
+
+	"lshjoin/internal/vecmath"
+)
 
 // FuzzTableMergePublish feeds arbitrary delta key streams through the
 // incremental merge path — base build, then publish-sized delta chunks
@@ -53,5 +57,73 @@ func FuzzTableMergePublish(f *testing.F) {
 		}
 		sfull := buildTableStr(append([]string(nil), skeys...), 70, 0, 1, 1)
 		tablesEqual(t, sfull, sinc)
+	})
+}
+
+// FuzzShardedGroupNH feeds arbitrary corpora through the shard layer and
+// requires the sharded merge identity to hold exactly: per-shard N_H plus
+// cross-shard bipartite N_H must equal the N_H of one index built over the
+// union, and the per-pair membership tests must agree pair for pair — in
+// both narrow (SimHash) and wide (MinHash) key modes.
+//
+// Byte layout: data[0] picks the shard count; every following byte is one
+// vector over a tiny dimension alphabet, so buckets genuinely collide within
+// and across shards.
+func FuzzShardedGroupNH(f *testing.F) {
+	f.Add([]byte{2, 1, 2, 3, 1, 2, 3, 9, 9, 1})
+	f.Add([]byte{5, 0, 0, 0, 0, 7, 7, 7})
+	f.Add([]byte{1, 255, 254, 1, 1, 2, 2, 40, 41})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		s := int(data[0]%7) + 1
+		raw := data[1:]
+		if len(raw) > 64 {
+			raw = raw[:64] // keep the O(n²) membership sweep cheap
+		}
+		vecs := make([]vecmath.Vector, len(raw))
+		for i, b := range raw {
+			vecs[i] = vecmath.FromDims([]uint32{uint32(b % 8), uint32(b/8%8) + 8})
+		}
+		for _, fam := range []Family{NewSimHash(3), NewMinHash(3)} {
+			k := 4
+			if fam.Bits() > 16 {
+				k = 3 // MinHash: force the wide string-key mode
+			}
+			g, err := NewShardGroup(vecs, fam, k, 2, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs := g.Capture()
+			union, err := BuildSnapshot(gs.Data(), fam, k, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ti := 0; ti < 2; ti++ {
+				var sum int64
+				for a := 0; a < gs.S(); a++ {
+					sum += gs.Snap(a).Table(ti).NH()
+					for b := a + 1; b < gs.S(); b++ {
+						bp, err := NewBipartite(gs.Snap(a), gs.Snap(b), ti)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sum += bp.NH()
+					}
+				}
+				if want := union.Table(ti).NH(); sum != want {
+					t.Fatalf("s=%d table %d: sharded N_H %d, union %d", s, ti, sum, want)
+				}
+				for i := 0; i < gs.N(); i++ {
+					for j := i + 1; j < gs.N(); j++ {
+						if got, want := gs.SameBucketInTable(ti, i, j), union.Table(ti).SameBucket(i, j); got != want {
+							t.Fatalf("s=%d t=%d SameBucket(%d,%d)=%v union %v", s, ti, i, j, got, want)
+						}
+					}
+				}
+			}
+		}
 	})
 }

@@ -171,6 +171,17 @@ func (t *Table) SameBucket(i, j int) bool {
 	return t.keysStr[i] == t.keysStr[j]
 }
 
+// SameBucketAcross reports whether vector i of this table and vector j of
+// table u hash to the same bucket key. The tables must share k, fnBase and
+// bit width (true for the same table index of two shard snapshots); narrow
+// mode compares machine words without allocating.
+func (t *Table) SameBucketAcross(i int, u *Table, j int) bool {
+	if t.narrow && u.narrow {
+		return t.keys64[i] == u.keys64[j]
+	}
+	return t.KeyOf(i) == u.KeyOf(j)
+}
+
 // BucketIDs returns the member ids of the bucket with the given key in
 // canonical string form (nil if absent). Callers must not modify the
 // returned slice.

@@ -63,6 +63,13 @@ type Options struct {
 	// buckets the tables hold. 0 (the default) keeps publish-on-read:
 	// deltas accumulate until the next read on the Collection.
 	PublishEvery int
+	// Shards is the shard count S consumed by NewSharded (default 1): the
+	// key space is partitioned across S independent indexes with consistent
+	// key-hash routing, inserts on different shards never contend, and
+	// estimates merge per-shard statistics. New ignores it — a Collection is
+	// always a single index. NewSharded with Shards == 1 behaves
+	// draw-for-draw identically to New.
+	Shards int
 }
 
 func (o *Options) fillDefaults() {
@@ -74,6 +81,21 @@ func (o *Options) fillDefaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+}
+
+// familyFor resolves the measure to its LSH family and similarity function.
+func familyFor(opt Options) (lsh.Family, core.SimFunc, error) {
+	switch opt.Measure {
+	case CosineSimilarity:
+		return lsh.NewSimHash(opt.Seed), vecmath.Cosine, nil
+	case JaccardSimilarity:
+		return lsh.NewMinHash(opt.Seed), vecmath.Jaccard, nil
+	default:
+		return nil, nil, fmt.Errorf("lshjoin: unknown measure %d", opt.Measure)
 	}
 }
 
@@ -108,17 +130,9 @@ func New(vectors []Vector, opt Options) (*Collection, error) {
 	if len(vectors) < 2 {
 		return nil, fmt.Errorf("lshjoin: need at least 2 vectors, got %d", len(vectors))
 	}
-	var family lsh.Family
-	var sim core.SimFunc
-	switch opt.Measure {
-	case CosineSimilarity:
-		family = lsh.NewSimHash(opt.Seed)
-		sim = vecmath.Cosine
-	case JaccardSimilarity:
-		family = lsh.NewMinHash(opt.Seed)
-		sim = vecmath.Jaccard
-	default:
-		return nil, fmt.Errorf("lshjoin: unknown measure %d", opt.Measure)
+	family, sim, err := familyFor(opt)
+	if err != nil {
+		return nil, err
 	}
 	index, err := lsh.Build(vectors, family, opt.K, opt.Tables)
 	if err != nil {
