@@ -20,8 +20,9 @@ import (
 // layer (index build, per-vector signing, LSH-SS estimation, candidate
 // retrieval, snapshot publication — including per-insert publication through
 // the Fenwick weight index at two bucket counts, against an emulated eager
-// prefix-sum rebuild — and mixed Estimate+Insert serving workloads, single
-// index and 4-shard) with testing.Benchmark and writes the results as JSON.
+// prefix-sum rebuild — mixed Estimate+Insert serving workloads, single
+// index and 4-shard, and the sharded cross-join estimate path) with
+// testing.Benchmark and writes the results as JSON.
 // The file is committed as BENCH_lsh.json at the repo root so future changes
 // can be diffed against the recorded baseline; GOMAXPROCS is pinned by the
 // -gomaxprocs flag (default 1) before any benchmark runs, so entries are
@@ -282,6 +283,26 @@ func runPerf(outPath string) (*perfReport, error) {
 		wg.Wait()
 	})
 
+	// Sharded cross-join serving: a live 4-shard-per-side CrossJoin answers
+	// one general LSH-SS estimate per op. Each estimate captures the two
+	// shard-snapshot vectors, builds the merged bipartite stratum (the
+	// S_left·S_right per-shard-pair bucket matchings) and samples through
+	// it — the whole general-join serving path of App. B.2.2 over shards.
+	add("cross_join_sharded_estimate", func(b *testing.B) {
+		right := perfData(3000, dims, nnz, 5)
+		copy(right[:300], data[:300]) // plant cross matches
+		cj, err := lshjoin.NewCrossJoinSharded(data, right, lshjoin.Options{K: k, Seed: 7}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cj.EstimateJoinSizeBudget(0.8, 500, 500); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return nil, err
@@ -307,6 +328,7 @@ var gatedBenchmarks = []string{
 	"insert_batch_1000_k20_publish",
 	"serve_mixed_estimate_insert",
 	"sharded_serve_s4_estimate_insert",
+	"cross_join_sharded_estimate",
 }
 
 // comparePerf gates a fresh perf report against the committed baseline:

@@ -1,8 +1,6 @@
 package lshjoin
 
 import (
-	"fmt"
-
 	"lshjoin/internal/core"
 	"lshjoin/internal/dataset"
 	"lshjoin/internal/lsh"
@@ -56,90 +54,6 @@ func SaveVectors(path string, vectors []Vector) error {
 func LoadVectors(path string) ([]Vector, error) {
 	return vecio.ReadFile(path)
 }
-
-// CrossJoin estimates general (non-self) join sizes between two collections
-// hashed with the same LSH functions (App. B.2.2).
-type CrossJoin struct {
-	left, right []Vector
-	sim         core.SimFunc
-	bp          *lsh.Bipartite
-	seed        uint64
-	seedCtr     uint64
-}
-
-// NewCrossJoin indexes both sides with identical hash functions. Options
-// semantics match New; Tables is forced to 1.
-func NewCrossJoin(left, right []Vector, opt Options) (*CrossJoin, error) {
-	opt.fillDefaults()
-	opt.Tables = 1
-	if len(left) == 0 || len(right) == 0 {
-		return nil, fmt.Errorf("lshjoin: cross join needs non-empty sides")
-	}
-	var family lsh.Family
-	var sim core.SimFunc
-	switch opt.Measure {
-	case CosineSimilarity:
-		family = lsh.NewSimHash(opt.Seed)
-		sim = Cosine
-	case JaccardSimilarity:
-		family = lsh.NewMinHash(opt.Seed)
-		sim = Jaccard
-	default:
-		return nil, fmt.Errorf("lshjoin: unknown measure %d", opt.Measure)
-	}
-	li, err := lsh.BuildSnapshot(left, family, opt.K, 1)
-	if err != nil {
-		return nil, fmt.Errorf("lshjoin: left index: %w", err)
-	}
-	ri, err := lsh.BuildSnapshot(right, family, opt.K, 1)
-	if err != nil {
-		return nil, fmt.Errorf("lshjoin: right index: %w", err)
-	}
-	bp, err := lsh.NewBipartite(li, ri, 0)
-	if err != nil {
-		return nil, fmt.Errorf("lshjoin: %w", err)
-	}
-	return &CrossJoin{left: left, right: right, sim: sim, bp: bp, seed: opt.Seed}, nil
-}
-
-// EstimateJoinSize runs the general LSH-SS estimator at tau with the default
-// budget (m_H = m_L = (|U|+|V|)/2).
-func (cj *CrossJoin) EstimateJoinSize(tau float64) (float64, error) {
-	return cj.EstimateJoinSizeBudget(tau, 0, 0)
-}
-
-// EstimateJoinSizeBudget runs general LSH-SS with explicit per-stratum
-// sample budgets (≤ 0 keeps the default). Larger m_L widens the reliable
-// regime of SampleL at mid thresholds at proportional cost.
-func (cj *CrossJoin) EstimateJoinSizeBudget(tau float64, mH, mL int) (float64, error) {
-	cj.seedCtr++
-	var opts []core.GeneralOption
-	if mH > 0 || mL > 0 {
-		n := (len(cj.left) + len(cj.right)) / 2
-		if mH <= 0 {
-			mH = n
-		}
-		if mL <= 0 {
-			mL = n
-		}
-		opts = append(opts, core.WithGeneralSampleSizes(mH, mL))
-	}
-	est, err := core.NewGeneralLSHSS(cj.bp, cj.sim, opts...)
-	if err != nil {
-		return 0, err
-	}
-	return est.Estimate(tau, xrand.New(xrand.Mix2(cj.seed^0xC105515, cj.seedCtr)))
-}
-
-// ExactJoinSize computes the true cross-join size by exhaustive comparison
-// (O(|U|·|V|); for validation and modest sizes).
-func (cj *CrossJoin) ExactJoinSize(tau float64) int64 {
-	return core.ExactGeneralJoin(cj.left, cj.right, cj.sim, tau)
-}
-
-// PairsSharingBucket returns N_H = Σ b_j·c_i over buckets with matching g
-// values — the bipartite analogue of the extended index's bucket counts.
-func (cj *CrossJoin) PairsSharingBucket() int64 { return cj.bp.NH() }
 
 // SuggestK runs the Optimal-k heuristic of App. B.1 (Definition 4): the
 // minimum k ∈ [kMin, kMax] whose stratum-H precision P(T|H) at the reference

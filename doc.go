@@ -61,6 +61,20 @@
 // with Shards == 1 is guaranteed draw-for-draw identical to a Collection
 // built from the same vectors and options.
 //
+// General (non-self) joins serve the same way. A CrossJoin is a live
+// object: both sides accept InsertLeft / InsertRight (and batch forms)
+// concurrently with estimates, Options.PublishEvery applies per side and
+// per shard, and Options.Shards partitions each side across independent
+// index shards. Estimates capture a pair of shard-snapshot vectors and
+// stratify by the merged bipartite bucket matching of App. B.2.2 — the
+// S_left·S_right per-shard-pair matchings partition the cross stratum H,
+// so N_H, M and membership equal the unsharded union exactly. A CrossJoin
+// with Shards == 1 is guaranteed draw-for-draw identical to the static
+// single-snapshot cross join of earlier releases: same indexes, same
+// estimator seed stream, same results (the seed-stream golden test pins
+// this). Multi-table cross joins are rejected with an error — the general
+// estimator stratifies by the single bipartite matching.
+//
 // # Performance
 //
 // Index construction and bulk loading run through a batched signature

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// FuzzMergedBipartiteNH feeds arbitrary two-sided corpora through the merged
+// cross-group stratum and requires it to agree exactly with one bipartite
+// matching enumerated over the union sides: same M and N_H, pair-for-pair
+// SameBucket membership, and every SamplePair draw bucket-matched in the
+// union — in both narrow (SimHash) and wide (MinHash) key modes. This is the
+// stratum the sharded general-join estimator samples through.
+//
+// Byte layout: data[0] and data[1] pick the two shard counts; the remaining
+// bytes split into the left and right corpora, one vector per byte over a
+// tiny dimension alphabet so buckets genuinely collide across groups.
+func FuzzMergedBipartiteNH(f *testing.F) {
+	f.Add([]byte{2, 3, 1, 2, 3, 1, 2, 3, 9, 9, 1})
+	f.Add([]byte{4, 1, 0, 0, 0, 0, 7, 7, 7})
+	f.Add([]byte{1, 1, 255, 254, 1, 1, 2, 2, 40, 41})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		sl := int(data[0]%5) + 1
+		sr := int(data[1]%5) + 1
+		raw := data[2:]
+		if len(raw) > 48 {
+			raw = raw[:48] // keep the O(|U|·|V|) membership sweep cheap
+		}
+		half := len(raw) / 2
+		mk := func(bs []byte) []vecmath.Vector {
+			vecs := make([]vecmath.Vector, len(bs))
+			for i, b := range bs {
+				vecs[i] = vecmath.FromDims([]uint32{uint32(b % 8), uint32(b/8%8) + 8})
+			}
+			return vecs
+		}
+		lvecs, rvecs := mk(raw[:half]), mk(raw[half:])
+		for _, fam := range []lsh.Family{lsh.NewSimHash(3), lsh.NewMinHash(3)} {
+			k := 4
+			if fam.Bits() > 16 {
+				k = 3 // MinHash: force the wide string-key mode
+			}
+			gl, err := lsh.NewShardGroup(lvecs, fam, k, 1, sl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr, err := lsh.NewShardGroup(rvecs, fam, k, 1, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lgs, rgs := gl.Capture(), gr.Capture()
+			ms, err := NewMergedBipartiteStratum(lgs, rgs, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ul, err := lsh.BuildSnapshot(lgs.Data(), fam, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ur, err := lsh.BuildSnapshot(rgs.Data(), fam, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			union, err := lsh.NewBipartite(ul, ur, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ms.M() != union.M() || ms.NH() != union.NH() {
+				t.Fatalf("sl=%d sr=%d: merged (M,NH)=(%d,%d), union (%d,%d)",
+					sl, sr, ms.M(), ms.NH(), union.M(), union.NH())
+			}
+			for u := 0; u < lgs.N(); u++ {
+				for v := 0; v < rgs.N(); v++ {
+					if got, want := ms.SameBucket(u, v), union.SameBucket(u, v); got != want {
+						t.Fatalf("sl=%d sr=%d SameBucket(%d,%d)=%v union %v", sl, sr, u, v, got, want)
+					}
+				}
+			}
+			if ms.NH() > 0 {
+				rng := xrand.New(1)
+				for d := 0; d < 32; d++ {
+					u, v, ok := ms.SamplePair(rng)
+					if !ok {
+						t.Fatal("SamplePair failed with NH > 0")
+					}
+					if !union.SameBucket(u, v) {
+						t.Fatalf("sampled pair (%d,%d) not bucket-matched in the union", u, v)
+					}
+				}
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"lshjoin/internal/lsh"
 	"lshjoin/internal/sample"
@@ -53,11 +54,40 @@ func (e *GeneralRS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 	return clampEstimate(float64(hits)*m/float64(e.m), m), nil
 }
 
+// BipartiteStratum abstracts the cross-pair space partition the general
+// estimator samples over: stratum H (cross pairs whose buckets share a g
+// value, weight-sampled) versus everything else. One lsh.Bipartite matching
+// implements it directly; a sharded group pair's merged view (see
+// sharded.go) implements it by combining per-shard-pair matchings, which is
+// what lets one App. B.2.2 implementation serve both single-snapshot and
+// shard-group cross joins. The view is immutable, so callers serving
+// repeated estimates over an unchanged capture should build it once (see
+// NewBipartiteStratum) and construct estimators over it per call.
+type BipartiteStratum interface {
+	// M is the total number of cross pairs |U|·|V|.
+	M() int64
+	// NH is the number of cross pairs whose buckets share a g value.
+	NH() int64
+	// NL is M − N_H.
+	NL() int64
+	// SamplePair draws a uniform random stratum-H cross pair; ok is false
+	// when N_H = 0.
+	SamplePair(rng *xrand.RNG) (u, v int, ok bool)
+	// SameBucket reports whether u ∈ U and v ∈ V have equal g values.
+	SameBucket(u, v int) bool
+	// Sim returns the family similarity between u ∈ U and v ∈ V.
+	Sim(u, v int) float64
+	// LeftN and RightN return the collection sizes |U| and |V|.
+	LeftN() int
+	RightN() int
+}
+
 // GeneralLSHSS is LSH-SS for non-self joins (App. B.2.2): stratum H is the
-// set of cross pairs with equal g values (sampled through lsh.Bipartite with
-// weight b_j·c_i), stratum L is everything else (rejection sampling).
+// set of cross pairs with equal g values (sampled through a bipartite bucket
+// matching with weight b_j·c_i), stratum L is everything else (rejection
+// sampling).
 type GeneralLSHSS struct {
-	bp  *lsh.Bipartite
+	bp  BipartiteStratum
 	sim SimFunc
 
 	mH, mL    int
@@ -74,6 +104,13 @@ func NewGeneralLSHSS(bp *lsh.Bipartite, sim SimFunc, opts ...GeneralOption) (*Ge
 	if bp == nil {
 		return nil, fmt.Errorf("core: general LSH-SS needs a bipartite matching")
 	}
+	return newGeneralLSHSS(bp, sim, opts)
+}
+
+// newGeneralLSHSS binds the estimator to any bipartite stratum view — the
+// shared constructor behind the single-matching and merged cross-group
+// entry points.
+func newGeneralLSHSS(bp BipartiteStratum, sim SimFunc, opts []GeneralOption) (*GeneralLSHSS, error) {
 	if sim == nil {
 		sim = vecmath.Cosine
 	}
@@ -161,6 +198,103 @@ func (e *GeneralLSHSS) Estimate(tau float64, rng *xrand.RNG) (float64, error) {
 		}
 	}
 	return clampEstimate(jh+jl, m), nil
+}
+
+// EstimateCurve estimates the general selectivity curve J(τ) for a grid of
+// thresholds from a single sampling pass — the cross-join analogue of
+// LSHSS.EstimateCurve, for an optimizer costing one bipartite similarity
+// predicate at many candidate thresholds.
+//
+// SampleH draws m_H stratum-H cross pairs once and records their
+// similarities; Ĵ_H(τ) is the recorded count ≥ τ scaled by N_H/m_H. SampleL
+// draws one stream of up to m_L stratum-L cross pairs and replays the
+// adaptive stopping rule per threshold, falling back to the safe lower bound
+// (or the configured dampened scale-up) where the δ-th success never
+// arrives. The result aligns with taus and is monotone non-increasing after
+// sorting taus ascending.
+func (e *GeneralLSHSS) EstimateCurve(taus []float64, rng *xrand.RNG) ([]float64, error) {
+	if len(taus) == 0 {
+		return nil, fmt.Errorf("core: empty threshold grid")
+	}
+	for _, tau := range taus {
+		if err := validateTau(tau); err != nil {
+			return nil, err
+		}
+	}
+	order := make([]int, len(taus))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return taus[order[a]] < taus[order[b]] })
+
+	// One SampleH pass: record similarities of matched-bucket cross pairs.
+	nh := e.bp.NH()
+	simsH := make([]float64, 0, e.mH)
+	if nh > 0 {
+		for s := 0; s < e.mH; s++ {
+			u, v, ok := e.bp.SamplePair(rng)
+			if !ok {
+				break
+			}
+			simsH = append(simsH, e.bp.Sim(u, v))
+		}
+	}
+	sort.Float64s(simsH)
+
+	// One SampleL stream: record similarities in draw order.
+	nl := e.bp.NL()
+	simsL := make([]float64, 0, e.mL)
+	if nl > 0 {
+	draws:
+		for s := 0; s < e.mL; s++ {
+			for t := 0; t < e.maxReject; t++ {
+				u := rng.Intn(e.bp.LeftN())
+				v := rng.Intn(e.bp.RightN())
+				if e.bp.SameBucket(u, v) {
+					continue
+				}
+				simsL = append(simsL, e.bp.Sim(u, v))
+				continue draws
+			}
+			break // rejection budget exhausted: stratum L is all but gone
+		}
+	}
+
+	out := make([]float64, len(taus))
+	for _, idx := range order {
+		tau := taus[idx]
+		var jh float64
+		if len(simsH) > 0 {
+			hits := len(simsH) - sort.SearchFloat64s(simsH, tau)
+			jh = float64(hits) * float64(nh) / float64(e.mH)
+		}
+		var jl float64
+		if nl > 0 {
+			hits := 0
+			stop := -1
+			for i, s := range simsL {
+				if s >= tau {
+					hits++
+					if hits == e.delta {
+						stop = i + 1 // the adaptive loop stops here
+						break
+					}
+				}
+			}
+			switch {
+			case stop > 0:
+				jl = float64(e.delta) * float64(nl) / float64(stop)
+			case e.damp == DampAuto:
+				jl = float64(hits) * (float64(hits) / float64(e.delta)) * float64(nl) / float64(e.mL)
+			case e.damp == DampConst:
+				jl = float64(hits) * e.cs * float64(nl) / float64(e.mL)
+			default:
+				jl = float64(hits)
+			}
+		}
+		out[idx] = clampEstimate(jh+jl, float64(e.bp.M()))
+	}
+	return out, nil
 }
 
 // ExactGeneralJoin counts the true cross-join size by brute force; it is the

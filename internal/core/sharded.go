@@ -158,6 +158,155 @@ func (ms *MergedStratum) SameBucket(i, j int) bool {
 	return ms.gs.SameBucketInTable(ms.t, i, j)
 }
 
+// MergedBipartiteStratum is the cross-group stratum-H weight view of
+// App. B.2.2 over two captured shard-snapshot vectors: the bipartite bucket
+// matching between the union sides, decomposed into the S_left·S_right
+// per-shard-pair lsh.Bipartite components. Because bucket keys are
+// shard-invariant, a union matched-bucket pair with b_j left members split
+// across left shards and c_i right members split across right shards
+// contributes Σ_a Σ_b b_j,a·c_i,b = b_j·c_i cross pairs — every stratum-H
+// cross pair lives in exactly one component — so N_H sums component weights
+// and SamplePair stays uniform over the union stratum. It implements the
+// BipartiteStratum interface (dense ids within each group's own id space)
+// and is immutable and safe for concurrent use.
+type MergedBipartiteStratum struct {
+	left, right *lsh.GroupSnapshot
+	t           int
+	comps       []crossComponent
+	cum         []int64 // cumulative component weights; cum[len-1] = NH
+	nh          int64
+}
+
+// NewMergedBipartiteStratum combines table t of every (left shard, right
+// shard) pair into one cross-group weight view. Construction walks each
+// shard pair's buckets once to build the bipartite matchings —
+// O(S_left·S_right·#buckets) — so estimators build it once and sample many
+// times. Both groups must be hashed with the same family and k.
+func NewMergedBipartiteStratum(left, right *lsh.GroupSnapshot, t int) (*MergedBipartiteStratum, error) {
+	if err := lsh.CompatibleCross(left, right); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if t < 0 || t >= left.L() || t >= right.L() {
+		return nil, fmt.Errorf("core: table %d out of range", t)
+	}
+	ms := &MergedBipartiteStratum{left: left, right: right, t: t}
+	for a := 0; a < left.S(); a++ {
+		for b := 0; b < right.S(); b++ {
+			bp, err := lsh.NewBipartite(left.Snap(a), right.Snap(b), t)
+			if err != nil {
+				return nil, err
+			}
+			ms.comps = append(ms.comps, crossComponent{bp: bp, offL: left.Offset(a), offR: right.Offset(b)})
+		}
+	}
+	ms.cum = make([]int64, len(ms.comps))
+	for i, c := range ms.comps {
+		ms.nh += c.weight()
+		ms.cum[i] = ms.nh
+	}
+	return ms, nil
+}
+
+// M returns the total number of cross pairs |U|·|V| of the union sides.
+func (ms *MergedBipartiteStratum) M() int64 {
+	return int64(ms.left.N()) * int64(ms.right.N())
+}
+
+// NH returns the union cross-stratum-H size: Σ over shard-pair components,
+// exactly equal to the N_H one bipartite matching over the union sides
+// would maintain.
+func (ms *MergedBipartiteStratum) NH() int64 { return ms.nh }
+
+// NL returns M − N_H.
+func (ms *MergedBipartiteStratum) NL() int64 { return ms.M() - ms.nh }
+
+// LeftN and RightN return the union collection sizes.
+func (ms *MergedBipartiteStratum) LeftN() int  { return ms.left.N() }
+func (ms *MergedBipartiteStratum) RightN() int { return ms.right.N() }
+
+// Components returns the number of additive weight components
+// (S_left·S_right shard pairs).
+func (ms *MergedBipartiteStratum) Components() int { return len(ms.comps) }
+
+// CumWeight returns the cumulative cross-pair weight of components [0, c] —
+// the boundaries SamplePair descends by.
+func (ms *MergedBipartiteStratum) CumWeight(c int) int64 {
+	if c < 0 {
+		return 0
+	}
+	if c >= len(ms.cum) {
+		c = len(ms.cum) - 1
+	}
+	return ms.cum[c]
+}
+
+// SamplePair draws a uniform random cross pair from the union stratum H: a
+// shard-pair component chosen with probability weight/N_H by its cumulative
+// weight, then that component's matched-bucket sampler. Dense group ids.
+func (ms *MergedBipartiteStratum) SamplePair(rng *xrand.RNG) (u, v int, ok bool) {
+	if ms.nh == 0 {
+		return 0, 0, false
+	}
+	x := int64(rng.Uint64n(uint64(ms.nh)))
+	c := sort.Search(len(ms.cum), func(k int) bool { return ms.cum[k] > x })
+	return ms.comps[c].samplePair(rng)
+}
+
+// SameBucket reports whether left dense vector u and right dense vector v
+// have equal g values in table t — the cross-group stratum-H membership
+// test the rejection sampler calls per candidate pair.
+func (ms *MergedBipartiteStratum) SameBucket(u, v int) bool {
+	return ms.left.SameBucketAcrossGroups(ms.t, u, ms.right, v)
+}
+
+// Sim returns the family similarity between left dense vector u and right
+// dense vector v.
+func (ms *MergedBipartiteStratum) Sim(u, v int) float64 {
+	return ms.left.Family().Sim(ms.left.At(u), ms.right.At(v))
+}
+
+// NewBipartiteStratum builds the cross-group stratum view of table t for a
+// captured group pair: the plain per-snapshot bipartite matching at one
+// shard per side (preserving the historic draw stream exactly), the merged
+// per-shard-pair decomposition otherwise. The view is immutable — callers
+// answering repeated estimates over an unchanged capture should build it
+// once, cache it keyed on the pair's version vectors, and construct
+// estimators over it per call (estimator construction itself is cheap).
+func NewBipartiteStratum(left, right *lsh.GroupSnapshot, t int) (BipartiteStratum, error) {
+	if err := lsh.CompatibleCross(left, right); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if left.S() == 1 && right.S() == 1 {
+		return lsh.NewBipartite(left.Snap(0), right.Snap(0), t)
+	}
+	return NewMergedBipartiteStratum(left, right, t)
+}
+
+// NewGeneralLSHSSOver builds the general estimator over a prebuilt
+// bipartite stratum view, for callers that cache the (expensive) view
+// across estimates; NewGeneralLSHSS and NewMergedGeneralLSHSS are the
+// build-and-bind conveniences on top of it.
+func NewGeneralLSHSSOver(bp BipartiteStratum, sim SimFunc, opts ...GeneralOption) (*GeneralLSHSS, error) {
+	if bp == nil {
+		return nil, fmt.Errorf("core: general LSH-SS needs a bipartite stratum")
+	}
+	return newGeneralLSHSS(bp, sim, opts)
+}
+
+// NewMergedGeneralLSHSS builds the general (non-self) LSH-SS estimator of
+// App. B.2.2 over two captured shard-snapshot vectors, stratified by the
+// merged table-0 bipartite matching. With one shard on each side it
+// delegates to the plain bipartite matching of the two snapshots,
+// draw-for-draw — which is what keeps an S=1 live cross join identical to
+// the static single-snapshot path.
+func NewMergedGeneralLSHSS(left, right *lsh.GroupSnapshot, sim SimFunc, opts ...GeneralOption) (*GeneralLSHSS, error) {
+	bs, err := NewBipartiteStratum(left, right, 0)
+	if err != nil {
+		return nil, err
+	}
+	return newGeneralLSHSS(bs, sim, opts)
+}
+
 // NewMergedLSHSS builds LSH-SS over a captured shard-snapshot vector: the
 // stratifying table (WithTable) is the merged per-table weight view, and the
 // vector data is the dense union corpus. With one shard it delegates to

@@ -279,3 +279,259 @@ func TestMergedLSHSRuns(t *testing.T) {
 		t.Fatalf("merged LSH-S %v, union %v", a, b)
 	}
 }
+
+// crossGroupsAndUnion routes two corpora into shard groups (sharing one
+// family) and builds the union bipartite matching over their dense orders,
+// so dense group ids align with the union matching's ids.
+func crossGroupsAndUnion(t *testing.T, nl, nr, k, ell, sl, sr int, fam lsh.Family) (*lsh.GroupSnapshot, *lsh.GroupSnapshot, *lsh.Bipartite) {
+	t.Helper()
+	left := testData(nl, 101)
+	right := testData(nr, 103)
+	copy(right[:nr/5], left[:nr/5]) // plant shared vectors so stratum H is non-trivial
+	gl, err := lsh.NewShardGroup(left, fam, k, ell, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := lsh.NewShardGroup(right, fam, k, ell, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgs, rgs := gl.Capture(), gr.Capture()
+	ul, err := lsh.BuildSnapshot(lgs.Data(), fam, k, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err := lsh.BuildSnapshot(rgs.Data(), fam, k, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := lsh.NewBipartite(ul, ur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lgs, rgs, union
+}
+
+// The merged bipartite stratum must reproduce the union bipartite matching
+// exactly: same M, N_H, N_L, per-pair membership and similarity, one
+// component per shard pair, and cumulative weights ending at N_H.
+func TestMergedBipartiteMatchesUnion(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fam  lsh.Family
+		k    int
+	}{
+		{"narrow-simhash", lsh.NewSimHash(5), 10},
+		{"wide-minhash", lsh.NewMinHash(5), 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, shape := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {3, 2}} {
+				sl, sr := shape[0], shape[1]
+				lgs, rgs, union := crossGroupsAndUnion(t, 120, 100, tc.k, 1, sl, sr, tc.fam)
+				ms, err := NewMergedBipartiteStratum(lgs, rgs, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ms.M() != union.M() || ms.NH() != union.NH() || ms.NL() != union.NL() {
+					t.Fatalf("s=%dx%d: merged (M,NH,NL)=(%d,%d,%d), union (%d,%d,%d)",
+						sl, sr, ms.M(), ms.NH(), ms.NL(), union.M(), union.NH(), union.NL())
+				}
+				if ms.NH() == 0 {
+					t.Fatalf("s=%dx%d: degenerate fixture, N_H = 0", sl, sr)
+				}
+				if ms.LeftN() != union.LeftN() || ms.RightN() != union.RightN() {
+					t.Fatalf("s=%dx%d: merged sides (%d,%d), union (%d,%d)",
+						sl, sr, ms.LeftN(), ms.RightN(), union.LeftN(), union.RightN())
+				}
+				if want := sl * sr; ms.Components() != want {
+					t.Fatalf("s=%dx%d: %d components, want %d", sl, sr, ms.Components(), want)
+				}
+				if ms.CumWeight(ms.Components()-1) != ms.NH() {
+					t.Fatalf("cumulative component weights end at %d, NH %d",
+						ms.CumWeight(ms.Components()-1), ms.NH())
+				}
+				for u := 0; u < lgs.N(); u++ {
+					for v := 0; v < rgs.N(); v++ {
+						if got, want := ms.SameBucket(u, v), union.SameBucket(u, v); got != want {
+							t.Fatalf("s=%dx%d SameBucket(%d,%d)=%v, union %v", sl, sr, u, v, got, want)
+						}
+						if got, want := ms.Sim(u, v), union.Sim(u, v); got != want {
+							t.Fatalf("s=%dx%d Sim(%d,%d)=%v, union %v", sl, sr, u, v, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// SamplePair over the merged bipartite stratum is uniform over the union
+// cross stratum H: every sampled pair is bucket-matched in the union, every
+// union stratum pair is reachable, and frequencies match the uniform
+// expectation.
+func TestMergedBipartiteSamplePairUniform(t *testing.T) {
+	lgs, rgs, union := crossGroupsAndUnion(t, 80, 70, 8, 1, 3, 2, lsh.NewSimHash(9))
+	ms, err := NewMergedBipartiteStratum(lgs, rgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union.NH() < 3 {
+		t.Skip("bucket structure degenerate for this seed")
+	}
+	rng := xrand.New(5)
+	counts := map[[2]int]int{}
+	const draws = 60000
+	for d := 0; d < draws; d++ {
+		u, v, ok := ms.SamplePair(rng)
+		if !ok {
+			t.Fatal("SamplePair failed with NH > 0")
+		}
+		if !union.SameBucket(u, v) {
+			t.Fatalf("sampled pair (%d,%d) not bucket-matched in the union", u, v)
+		}
+		counts[[2]int{u, v}]++
+	}
+	want := float64(draws) / float64(ms.NH())
+	for pair, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("pair %v sampled %d times, want ~%.0f", pair, c, want)
+		}
+	}
+	if int64(len(counts)) != ms.NH() {
+		t.Errorf("observed %d distinct pairs, stratum has %d", len(counts), ms.NH())
+	}
+}
+
+// With one shard on each side the merged general constructor delegates to
+// the plain bipartite matching: draw-for-draw identical estimates and
+// curves.
+func TestMergedGeneralSingleShardDelegates(t *testing.T) {
+	lgs, rgs, union := crossGroupsAndUnion(t, 150, 120, 10, 1, 1, 1, lsh.NewSimHash(3))
+	merged, err := NewMergedGeneralLSHSS(lgs, rgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewGeneralLSHSS(union, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := []float64{0.9, 0.5, 0.7}
+	for seed := uint64(1); seed <= 8; seed++ {
+		for _, tau := range taus {
+			a, err := merged.Estimate(tau, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := plain.Estimate(tau, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("seed %d tau %v: merged %v, plain %v", seed, tau, a, b)
+			}
+		}
+		ca, err := merged.EstimateCurve(taus, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := plain.EstimateCurve(taus, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("seed %d: curve[%d] merged %v, plain %v", seed, i, ca[i], cb[i])
+			}
+		}
+	}
+}
+
+// The merged general estimator over genuinely sharded sides tracks the
+// exact cross join at a planted high threshold.
+func TestMergedGeneralTracksExactJoin(t *testing.T) {
+	lgs, rgs, _ := crossGroupsAndUnion(t, 200, 150, 10, 1, 3, 2, lsh.NewSimHash(7))
+	exact := float64(ExactGeneralJoin(lgs.Data(), rgs.Data(), nil, 0.95))
+	if exact < 10 {
+		t.Fatalf("planting failed: exact = %v", exact)
+	}
+	est, err := NewMergedGeneralLSHSS(lgs, rgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const reps = 30
+	for i := 0; i < reps; i++ {
+		v, err := est.Estimate(0.95, xrand.New(uint64(i)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	if mean := sum / reps; mean < 0.1*exact || mean > 20*exact {
+		t.Errorf("merged general mean %v vs exact %v", mean, exact)
+	}
+}
+
+// The general curve is monotone non-increasing in τ and clamped to [0, M],
+// over both plain and merged strata.
+func TestGeneralCurveMonotone(t *testing.T) {
+	lgs, rgs, union := crossGroupsAndUnion(t, 150, 120, 8, 1, 2, 2, lsh.NewSimHash(11))
+	merged, err := NewMergedGeneralLSHSS(lgs, rgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewGeneralLSHSS(union, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99}
+	for name, e := range map[string]*GeneralLSHSS{"merged": merged, "plain": plain} {
+		curve, err := e.EstimateCurve(taus, xrand.New(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := float64(union.M())
+		for i := range curve {
+			if curve[i] < 0 || curve[i] > m {
+				t.Fatalf("%s: curve[%d]=%v outside [0, %v]", name, i, curve[i], m)
+			}
+			if i > 0 && curve[i] > curve[i-1] {
+				t.Fatalf("%s: curve not monotone at %d: %v > %v", name, i, curve[i], curve[i-1])
+			}
+		}
+		if _, err := e.EstimateCurve(nil, xrand.New(1)); err == nil {
+			t.Fatalf("%s: empty grid accepted", name)
+		}
+		if _, err := e.EstimateCurve([]float64{1.5}, xrand.New(1)); err == nil {
+			t.Fatalf("%s: out-of-range τ accepted", name)
+		}
+	}
+}
+
+// Incompatible or out-of-range cross-group inputs are rejected up front.
+func TestMergedBipartiteValidation(t *testing.T) {
+	data := testData(30, 7)
+	mk := func(fam lsh.Family, k int) *lsh.GroupSnapshot {
+		g, err := lsh.NewShardGroup(data, fam, k, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Capture()
+	}
+	base := mk(lsh.NewSimHash(1), 6)
+	if _, err := NewMergedBipartiteStratum(base, mk(lsh.NewSimHash(2), 6), 0); err == nil {
+		t.Error("mismatched families accepted")
+	}
+	if _, err := NewMergedBipartiteStratum(base, mk(lsh.NewSimHash(1), 5), 0); err == nil {
+		t.Error("mismatched k accepted")
+	}
+	if _, err := NewMergedBipartiteStratum(base, base, 1); err == nil {
+		t.Error("out-of-range table accepted")
+	}
+	if _, err := NewMergedBipartiteStratum(base, nil, 0); err == nil {
+		t.Error("nil side accepted")
+	}
+	if _, err := NewMergedGeneralLSHSS(base, nil, nil); err == nil {
+		t.Error("general constructor accepted nil side")
+	}
+}

@@ -127,3 +127,94 @@ func FuzzShardedGroupNH(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCrossGroupNH feeds arbitrary two-sided corpora through the shard layer
+// and requires the cross-group bipartite decomposition to hold exactly: the
+// S_left·S_right per-shard-pair bipartite N_H must sum to the N_H of one
+// bipartite matching over the union sides, and SameBucketAcrossGroups must
+// agree pair for pair with the union matching — in both narrow (SimHash) and
+// wide (MinHash) key modes. This is the identity the merged general-join
+// stratum (core.MergedBipartiteStratum) is built on.
+//
+// Byte layout: data[0] and data[1] pick the two shard counts; the remaining
+// bytes split into the left and right corpora, one vector per byte over a
+// tiny dimension alphabet so buckets genuinely collide within and across
+// groups.
+func FuzzCrossGroupNH(f *testing.F) {
+	f.Add([]byte{2, 3, 1, 2, 3, 1, 2, 3, 9, 9, 1})
+	f.Add([]byte{4, 1, 0, 0, 0, 0, 7, 7, 7})
+	f.Add([]byte{1, 1, 255, 254, 1, 1, 2, 2, 40, 41})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		sl := int(data[0]%5) + 1
+		sr := int(data[1]%5) + 1
+		raw := data[2:]
+		if len(raw) > 48 {
+			raw = raw[:48] // keep the O(|U|·|V|) membership sweep cheap
+		}
+		half := len(raw) / 2
+		mk := func(bs []byte) []vecmath.Vector {
+			vecs := make([]vecmath.Vector, len(bs))
+			for i, b := range bs {
+				vecs[i] = vecmath.FromDims([]uint32{uint32(b % 8), uint32(b/8%8) + 8})
+			}
+			return vecs
+		}
+		lvecs, rvecs := mk(raw[:half]), mk(raw[half:])
+		for _, fam := range []Family{NewSimHash(3), NewMinHash(3)} {
+			k := 4
+			if fam.Bits() > 16 {
+				k = 3 // MinHash: force the wide string-key mode
+			}
+			gl, err := NewShardGroup(lvecs, fam, k, 2, sl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr, err := NewShardGroup(rvecs, fam, k, 2, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lgs, rgs := gl.Capture(), gr.Capture()
+			if err := CompatibleCross(lgs, rgs); err != nil {
+				t.Fatal(err)
+			}
+			ul, err := BuildSnapshot(lgs.Data(), fam, k, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ur, err := BuildSnapshot(rgs.Data(), fam, k, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ti := 0; ti < 2; ti++ {
+				union, err := NewBipartite(ul, ur, ti)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sum int64
+				for a := 0; a < lgs.S(); a++ {
+					for b := 0; b < rgs.S(); b++ {
+						bp, err := NewBipartite(lgs.Snap(a), rgs.Snap(b), ti)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sum += bp.NH()
+					}
+				}
+				if sum != union.NH() {
+					t.Fatalf("sl=%d sr=%d table %d: per-pair N_H sum %d, union %d", sl, sr, ti, sum, union.NH())
+				}
+				for i := 0; i < lgs.N(); i++ {
+					for j := 0; j < rgs.N(); j++ {
+						if got, want := lgs.SameBucketAcrossGroups(ti, i, rgs, j), union.SameBucket(i, j); got != want {
+							t.Fatalf("sl=%d sr=%d t=%d SameBucketAcrossGroups(%d,%d)=%v union %v", sl, sr, ti, i, j, got, want)
+						}
+					}
+				}
+			}
+		}
+	})
+}

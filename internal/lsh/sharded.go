@@ -387,6 +387,35 @@ func (g *GroupSnapshot) BucketMultiplicity(i, j int) int {
 	return m
 }
 
+// CompatibleCross validates that two captured groups were hashed with
+// identical LSH functions, so bucket keys are comparable across them — the
+// precondition for the bipartite bucket-match stratum of App. B.2.2. It is
+// the group-level analogue of NewBipartite's per-snapshot checks: one error
+// up front instead of S_left·S_right identical ones per shard pair.
+func CompatibleCross(left, right *GroupSnapshot) error {
+	if left == nil || right == nil {
+		return fmt.Errorf("lsh: cross-group matching needs two group snapshots")
+	}
+	if left.Family() != right.Family() {
+		return fmt.Errorf("lsh: cross-group matching requires identical families on both sides")
+	}
+	if left.K() != right.K() {
+		return fmt.Errorf("lsh: cross-group k mismatch: %d vs %d", left.K(), right.K())
+	}
+	return nil
+}
+
+// SameBucketAcrossGroups reports whether dense vector i of this group and
+// dense vector j of group h hash to the same bucket key in table t — the
+// cross-group membership test of the bipartite stratum H. Both groups must
+// be hashed with the same family and k (see CompatibleCross); narrow mode
+// compares machine words without allocating.
+func (g *GroupSnapshot) SameBucketAcrossGroups(t, i int, h *GroupSnapshot, j int) bool {
+	sa, la := g.Locate(i)
+	sb, lb := h.Locate(j)
+	return g.snaps[sa].Table(t).SameBucketAcross(la, h.snaps[sb].Table(t), lb)
+}
+
 // SizeBytes sums the index size estimate across shards.
 func (g *GroupSnapshot) SizeBytes() int64 {
 	var sz int64

@@ -297,3 +297,90 @@ func TestGroupVersions(t *testing.T) {
 		}
 	}
 }
+
+// Cross-group bipartite decomposition: the S_left·S_right per-shard-pair
+// bipartite matchings partition the union bipartite stratum H, so their N_H
+// values sum to the N_H of one matching built over the two union sides, and
+// SameBucketAcrossGroups agrees pair-for-pair with the union matching's
+// membership test.
+func TestCrossGroupMatchesUnionBipartite(t *testing.T) {
+	family := NewSimHash(5)
+	const k, ell = 6, 2
+	left := randData(120, 40, 4, 31) // small dims so buckets genuinely collide
+	right := randData(90, 40, 4, 33)
+	copy(right[:15], left[:15]) // plant shared vectors for high-sim matches
+	gl, err := NewShardGroup(left, family, k, ell, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := NewShardGroup(right, family, k, ell, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgs, rgs := gl.Capture(), gr.Capture()
+	if err := CompatibleCross(lgs, rgs); err != nil {
+		t.Fatal(err)
+	}
+	ul, err := BuildSnapshot(lgs.Data(), family, k, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err := BuildSnapshot(rgs.Data(), family, k, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < ell; ti++ {
+		union, err := NewBipartite(ul, ur, ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for a := 0; a < lgs.S(); a++ {
+			for b := 0; b < rgs.S(); b++ {
+				bp, err := NewBipartite(lgs.Snap(a), rgs.Snap(b), ti)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += bp.NH()
+			}
+		}
+		if sum != union.NH() {
+			t.Fatalf("table %d: per-shard-pair N_H sum %d, union %d", ti, sum, union.NH())
+		}
+		if sum == 0 {
+			t.Fatalf("table %d: degenerate fixture, N_H = 0", ti)
+		}
+		for i := 0; i < lgs.N(); i++ {
+			for j := 0; j < rgs.N(); j++ {
+				if got, want := lgs.SameBucketAcrossGroups(ti, i, rgs, j), union.SameBucket(i, j); got != want {
+					t.Fatalf("table %d: SameBucketAcrossGroups(%d,%d)=%v, union %v", ti, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// CompatibleCross rejects group pairs whose bucket keys are not comparable.
+func TestCompatibleCrossValidation(t *testing.T) {
+	data := randData(8, 40, 3, 7)
+	mk := func(fam Family, k int) *GroupSnapshot {
+		g, err := NewShardGroup(data, fam, k, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Capture()
+	}
+	base := mk(NewSimHash(1), 6)
+	if err := CompatibleCross(base, mk(NewSimHash(1), 6)); err != nil {
+		t.Fatalf("same family+k rejected: %v", err)
+	}
+	if err := CompatibleCross(base, mk(NewSimHash(2), 6)); err == nil {
+		t.Error("mismatched families accepted")
+	}
+	if err := CompatibleCross(base, mk(NewSimHash(1), 5)); err == nil {
+		t.Error("mismatched k accepted")
+	}
+	if err := CompatibleCross(base, nil); err == nil {
+		t.Error("nil side accepted")
+	}
+}

@@ -63,12 +63,13 @@ type Options struct {
 	// buckets the tables hold. 0 (the default) keeps publish-on-read:
 	// deltas accumulate until the next read on the Collection.
 	PublishEvery int
-	// Shards is the shard count S consumed by NewSharded (default 1): the
-	// key space is partitioned across S independent indexes with consistent
-	// key-hash routing, inserts on different shards never contend, and
-	// estimates merge per-shard statistics. New ignores it — a Collection is
-	// always a single index. NewSharded with Shards == 1 behaves
-	// draw-for-draw identically to New.
+	// Shards is the shard count S consumed by NewSharded and NewCrossJoin
+	// (default 1): the key space is partitioned across S independent indexes
+	// (per side, for a cross join) with consistent key-hash routing, inserts
+	// on different shards never contend, and estimates merge per-shard
+	// statistics. New ignores it — a Collection is always a single index.
+	// NewSharded and NewCrossJoin with Shards == 1 behave draw-for-draw
+	// identically to New and the static single-snapshot cross join.
 	Shards int
 }
 

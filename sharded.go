@@ -205,21 +205,46 @@ func (c *ShardedCollection) exactJoiner() (*exactjoin.Joiner, *lsh.GroupSnapshot
 		return c.joiner, gs
 	}
 	j := exactjoin.NewJoiner(gs.Data())
-	// Only move the cache forward (by summed version, which is monotone
-	// under publication): a reader that raced publication gets a correct
-	// one-off joiner without evicting a newer cached one.
-	if c.joiner == nil || sumVersions(vers) > sumVersions(c.joinerVers) {
+	// Only move the cache forward: a reader that raced publication gets a
+	// correct one-off joiner without evicting a newer cached one. "Forward"
+	// must be judged on the full version vector — summed versions alias
+	// (concurrent captures (4,2) and (3,3) cover different corpora but sum
+	// equally), so a sum comparison could adopt a vector that does not
+	// dominate the cached one and later serve a joiner for the wrong corpus
+	// on an exact vector match. Componentwise dominance cannot: per-shard
+	// versions are monotone, so a dominating vector is genuinely newer.
+	if c.joiner == nil || versionsAdvance(vers, c.joinerVers) {
 		c.joiner, c.joinerVers = j, vers
 	}
 	return j, gs
 }
 
-func sumVersions(vers []uint64) uint64 {
-	var sum uint64
-	for _, v := range vers {
-		sum += v
+// versionsGE is the componentwise comparison under version-vector caches
+// (the exact joiner above, the cross join's stratum cache): ok reports
+// next ≥ prev in every component with matching shapes, newer whether some
+// component strictly advanced.
+func versionsGE(next, prev []uint64) (ok, newer bool) {
+	if len(next) != len(prev) {
+		return false, false
 	}
-	return sum
+	for s := range next {
+		if next[s] < prev[s] {
+			return false, false
+		}
+		if next[s] > prev[s] {
+			newer = true
+		}
+	}
+	return true, newer
+}
+
+// versionsAdvance reports whether version vector next is strictly newer than
+// prev: componentwise ≥ with at least one component >. Incomparable vectors
+// (concurrent captures that each saw a different shard publish first) never
+// advance the cache; both readers still get correct one-off joiners.
+func versionsAdvance(next, prev []uint64) bool {
+	ok, newer := versionsGE(next, prev)
+	return ok && newer
 }
 
 // ExactJoinSize computes the true join size over the union corpus with the

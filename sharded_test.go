@@ -2,10 +2,13 @@ package lshjoin
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"lshjoin/internal/exactjoin"
 )
 
 func TestNewShardedValidation(t *testing.T) {
@@ -393,5 +396,89 @@ func TestShardedInsertIDsStable(t *testing.T) {
 		if got, want := coll.Vector(id).String(), vecs[i].String(); got != want {
 			t.Fatalf("batch id %d resolves to a different vector", id)
 		}
+	}
+}
+
+// The exact-joiner cache's forward policy must compare full version
+// vectors. Summed versions alias: concurrent captures (4,2) and (3,3)
+// cover different corpora but sum equally, and a sum comparison would also
+// treat (6,1) as newer than (3,3) although shard 1 regressed. Only
+// componentwise dominance may advance the cache.
+func TestVersionsAdvanceSumAliasing(t *testing.T) {
+	cases := []struct {
+		next, prev []uint64
+		want       bool
+	}{
+		{[]uint64{4, 2}, []uint64{3, 3}, false}, // equal sums, incomparable
+		{[]uint64{3, 3}, []uint64{4, 2}, false},
+		{[]uint64{6, 1}, []uint64{3, 3}, false}, // larger sum, shard 1 regressed
+		{[]uint64{3, 3}, []uint64{3, 3}, false}, // equal vector: serve from cache, no adopt
+		{[]uint64{4, 3}, []uint64{3, 3}, true},
+		{[]uint64{3, 4}, []uint64{3, 3}, true},
+		{[]uint64{4, 4}, []uint64{3, 3}, true},
+		{[]uint64{4}, []uint64{3, 3}, false}, // shape mismatch never advances
+	}
+	for _, c := range cases {
+		if got := versionsAdvance(c.next, c.prev); got != c.want {
+			t.Errorf("versionsAdvance(%v, %v) = %v, want %v", c.next, c.prev, got, c.want)
+		}
+	}
+}
+
+// Regression for the version-sum alias: plant a cache entry whose version
+// vector differs from the live one but aliases it by sum (and one that
+// dominates it). The planted joiner must never be served — ExactJoinSize
+// must answer over the live corpus — and an incomparable or dominating
+// cached vector must not be evicted by the incoming capture.
+func TestExactJoinerCacheSumAliasRegression(t *testing.T) {
+	vecs, err := GenerateDataset(DatasetDBLP, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewSharded(vecs, Options{Seed: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.ExactJoinSize(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := c.capture().Versions()
+	// A joiner over a bogus two-vector corpus: if it is ever served, the
+	// count collapses to at most 1.
+	bogus := exactjoin.NewJoiner(vecs[:2])
+	for _, alias := range [][]uint64{
+		{real[0] + 1, real[1] - 1}, // same sum, different vector
+		{real[0] + 1, real[1] + 1}, // dominates the live vector
+	} {
+		c.joinerMu.Lock()
+		c.joiner, c.joinerVers = bogus, alias
+		c.joinerMu.Unlock()
+		got, err := c.ExactJoinSize(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("planted cache vector %v (live %v) was served: got %d, want %d", alias, real, got, want)
+		}
+		c.joinerMu.Lock()
+		kept := slices.Equal(c.joinerVers, alias)
+		c.joinerMu.Unlock()
+		if !kept {
+			t.Fatalf("non-dominated cache vector %v evicted by live capture %v", alias, real)
+		}
+	}
+	// A genuinely newer capture (every shard ≥, one >) replaces the cache.
+	c.joinerMu.Lock()
+	c.joiner, c.joinerVers = bogus, []uint64{real[0] - 1, real[1]}
+	c.joinerMu.Unlock()
+	if got, err := c.ExactJoinSize(0.9); err != nil || got != want {
+		t.Fatalf("ExactJoinSize after stale cache: %d, %v (want %d)", got, err, want)
+	}
+	c.joinerMu.Lock()
+	adopted := slices.Equal(c.joinerVers, real)
+	c.joinerMu.Unlock()
+	if !adopted {
+		t.Fatal("dominating live capture did not advance the cache")
 	}
 }
