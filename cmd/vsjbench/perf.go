@@ -11,7 +11,9 @@ import (
 
 	"lshjoin"
 	"lshjoin/internal/core"
+	"lshjoin/internal/faultfs"
 	"lshjoin/internal/lsh"
+	"lshjoin/internal/lsh/persist"
 	"lshjoin/internal/vecmath"
 	"lshjoin/internal/xrand"
 )
@@ -303,6 +305,93 @@ func runPerf(outPath string) (*perfReport, error) {
 		}
 	})
 
+	// Durable store hot paths: checkpointing a full n-vector snapshot
+	// (encode + write + fsync + atomic rename), cold-opening a checkpointed
+	// store, and recovery that replays a 1000-record delta log on top of
+	// its checkpoint — the three costs a crash-safe serving process pays.
+	add("snapshot_save", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "vsjbench-save-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		ix, err := lsh.Build(data, lsh.NewSimHash(23), k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := persist.Create(faultfs.OS{}, dir, ix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		snap := ix.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Checkpoint(snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("snapshot_load", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "vsjbench-load-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		ix, err := lsh.Build(data, lsh.NewSimHash(23), k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := persist.Create(faultfs.OS{}, dir, ix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, st, err := persist.Open(faultfs.OS{}, dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.Close()
+		}
+	})
+	add("recover_replay_1000", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "vsjbench-replay-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		ix, err := lsh.Build(data, lsh.NewSimHash(23), k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := persist.Create(faultfs.OS{}, dir, ix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range perfData(1000, dims, nnz, 29) {
+			ix.Insert(v)
+		}
+		ix.Snapshot() // publish: flushes and fsyncs the 1000-record delta log
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rx, st, err := persist.Open(faultfs.OS{}, dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rx.N() != n+1000 {
+				b.Fatalf("recovered %d vectors, want %d", rx.N(), n+1000)
+			}
+			st.Close()
+		}
+	})
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return nil, err
@@ -329,6 +418,9 @@ var gatedBenchmarks = []string{
 	"serve_mixed_estimate_insert",
 	"sharded_serve_s4_estimate_insert",
 	"cross_join_sharded_estimate",
+	"snapshot_save",
+	"snapshot_load",
+	"recover_replay_1000",
 }
 
 // comparePerf gates a fresh perf report against the committed baseline:

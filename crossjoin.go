@@ -52,9 +52,15 @@ type CrossJoin struct {
 // bipartite bucket matching of App. B.2.2, and a multi-table request is
 // rejected with an error rather than silently discarded.
 func NewCrossJoin(left, right []Vector, opt Options) (*CrossJoin, error) {
-	opt.fillDefaults()
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
 	if opt.Tables != 1 {
-		return nil, fmt.Errorf("lshjoin: cross join supports exactly 1 table, got Tables = %d (App. B.2.2 stratifies by one bipartite bucket matching)", opt.Tables)
+		return nil, fmt.Errorf("%w: cross join supports exactly 1 table, got Tables = %d (App. B.2.2 stratifies by one bipartite bucket matching)", ErrInvalidOptions, opt.Tables)
+	}
+	if opt.Dir != "" {
+		return nil, fmt.Errorf("%w: cross joins do not support durable storage (Dir)", ErrInvalidOptions)
 	}
 	if len(left) == 0 || len(right) == 0 {
 		return nil, fmt.Errorf("lshjoin: cross join needs non-empty sides")

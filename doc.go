@@ -75,6 +75,39 @@
 // this). Multi-table cross joins are rejected with an error — the general
 // estimator stratifies by the single bipartite matching.
 //
+// # Durability
+//
+// Set Options.Dir to make a Collection or ShardedCollection crash-safe.
+// New creates a store in that directory (ErrStoreExists if one is already
+// there); Open and OpenSharded recover one, deriving K, Tables, Seed and
+// Measure from disk — pass zero Options fields to adopt the stored values,
+// or set them as assertions that must match (ErrInvalidOptions otherwise).
+//
+// The store is a checkpoint plus a delta log. A checkpoint is a versioned,
+// section-checksummed (CRC32C) snapshot file — family parameters, bucket
+// sequences in first-appearance order, vectors — written to a temp file,
+// fsynced, atomically renamed, and named by a MANIFEST that is itself
+// replaced atomically, so a checkpoint either fully exists or does not
+// exist at all. Between checkpoints every Insert appends a length-prefixed,
+// checksummed record to the log; records buffer in memory and are flushed
+// and fsynced at publish boundaries, making the published version the unit
+// of durability: once a publish returns, that version survives any crash.
+// The log rotates into a fresh checkpoint when it grows past a threshold,
+// and Close checkpoints the final version.
+//
+// Recovery loads the newest checkpoint and replays the log's valid prefix.
+// A torn tail — a record half-written when the machine died — is detected
+// by its checksum, truncated, and never served; the collection reopens at
+// the last durably published version, deep-equal to what readers saw then,
+// down to draw-for-draw identical estimator streams. Damage that cannot be
+// a torn tail (a flipped byte mid-file, version skew between files, a
+// missing manifest over live data) refuses to load with ErrCorruptStore
+// rather than guessing. A sharded store keeps one such sub-store per shard
+// under a group manifest, and every shard recovers independently. The
+// crash-consistency property test (internal/lsh/persist) drives every
+// write through an injectable filesystem and checks exactly this contract
+// at every injection point. See examples/durable for the full lifecycle.
+//
 // # Performance
 //
 // Index construction and bulk loading run through a batched signature

@@ -1,0 +1,209 @@
+package lshjoin
+
+import (
+	"fmt"
+
+	"lshjoin/internal/faultfs"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/lsh/persist"
+)
+
+// Typed store errors, re-exported so callers can errors.Is against them
+// without importing internals.
+var (
+	// ErrNoStore reports an Open of a directory holding no store.
+	ErrNoStore = persist.ErrNotExist
+	// ErrStoreExists reports a New/NewSharded with Options.Dir naming a
+	// directory that already holds a store.
+	ErrStoreExists = persist.ErrExists
+	// ErrCorruptStore reports on-disk state recovery must not paper over:
+	// checksum mismatches away from the delta-log tail, version skew
+	// between files, impossible structure. A torn log tail is NOT corrupt —
+	// it is truncated silently and the last durable version served.
+	ErrCorruptStore = persist.ErrCorrupt
+)
+
+// measureOf maps a stored family spec back to the public Measure.
+func measureOf(spec lsh.FamilySpec) (Measure, error) {
+	switch spec.Name {
+	case "simhash":
+		return CosineSimilarity, nil
+	case "minhash":
+		return JaccardSimilarity, nil
+	}
+	return 0, fmt.Errorf("lshjoin: store built with unsupported family %q: %w", spec.Name, ErrCorruptStore)
+}
+
+// reconcile folds the hashing parameters recovered from disk into opt.
+// Hashing fields (K, Tables, Seed, Measure, Shards) are owned by the store:
+// leaving them zero adopts the stored values, setting them is an assertion
+// that must match (ErrInvalidOptions otherwise) — there is no way to rehash
+// an existing store by reopening it with different options. Runtime-only
+// fields (PublishEvery) pass through untouched.
+func reconcile(opt Options, spec lsh.FamilySpec, k, tables, shards int) (Options, error) {
+	measure, err := measureOf(spec)
+	if err != nil {
+		return opt, err
+	}
+	if opt.K != 0 && opt.K != k {
+		return opt, fmt.Errorf("%w: K = %d but the store was built with K = %d", ErrInvalidOptions, opt.K, k)
+	}
+	if opt.Tables != 0 && opt.Tables != tables {
+		return opt, fmt.Errorf("%w: Tables = %d but the store was built with %d", ErrInvalidOptions, opt.Tables, tables)
+	}
+	if opt.Seed != 0 && opt.Seed != spec.Seed {
+		return opt, fmt.Errorf("%w: Seed = %d but the store was built with %d", ErrInvalidOptions, opt.Seed, spec.Seed)
+	}
+	if opt.Measure != measure && opt.Measure != CosineSimilarity {
+		return opt, fmt.Errorf("%w: Measure conflicts with the store's hash family %q", ErrInvalidOptions, spec.Name)
+	}
+	if opt.Shards != 0 && opt.Shards != shards {
+		return opt, fmt.Errorf("%w: Shards = %d but the store holds %d", ErrInvalidOptions, opt.Shards, shards)
+	}
+	opt.K, opt.Tables, opt.Seed, opt.Measure, opt.Shards = k, tables, spec.Seed, measure, shards
+	return opt, nil
+}
+
+// Open recovers the durable collection stored in dir: the last checkpoint
+// is loaded, the delta log's valid prefix replayed (a torn tail is
+// truncated, never served), and the resulting collection is deep-equal to
+// the last durably published version — estimates, searches and SamplePair
+// streams included. Hashing options are recovered from disk; opt may leave
+// them zero or assert matching values (see Options.Dir), and supplies
+// runtime policies like PublishEvery. Errors: ErrNoStore if dir holds no
+// store, ErrCorruptStore if its state fails validation, ErrInvalidOptions
+// on conflicting options.
+func Open(dir string, opt Options) (*Collection, error) {
+	opt, err := opt.validated()
+	if err != nil {
+		return nil, err
+	}
+	index, store, err := persist.Open(faultfs.OS{}, dir)
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: %w", err)
+	}
+	spec, err := lsh.SpecOf(index.Family())
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: %w", err)
+	}
+	opt.Shards = 0 // a plain store has no shard count to assert against
+	if opt, err = reconcile(opt, spec, index.K(), index.L(), 1); err != nil {
+		store.Close()
+		return nil, err
+	}
+	opt.Dir = dir
+	_, sim, err := familyFor(opt)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &Collection{
+		opt:    opt,
+		family: index.Family(),
+		sim:    sim,
+		index:  index,
+		store:  store,
+	}, nil
+}
+
+// Close makes the collection durable at its current version — pending
+// inserts are published, a checkpoint written and fsynced — and releases
+// the store. It returns the store's sticky error, if any: a non-nil return
+// means some earlier publish may not have reached disk and the checkpoint
+// could not repair it. Close is idempotent; a nil-store (purely in-memory)
+// collection closes trivially. The collection must not be used afterwards.
+func (c *Collection) Close() error {
+	if c.store == nil || !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var cerr error
+	c.index.PublishAndThen(func(s *lsh.Snapshot) {
+		cerr = c.store.Checkpoint(s)
+	})
+	if err := c.store.Close(); cerr == nil {
+		cerr = err
+	}
+	if cerr != nil {
+		return fmt.Errorf("lshjoin: close: %w", cerr)
+	}
+	return nil
+}
+
+// OpenSharded recovers the durable sharded collection stored in dir: the
+// group manifest names the shape, every shard recovers independently
+// (checkpoint + delta-log replay), and the reassembled collection routes,
+// estimates and samples exactly as the one that wrote the store. Options
+// semantics match Open, with Shards also recoverable or assertable.
+func OpenSharded(dir string, opt Options) (*ShardedCollection, error) {
+	opt, err := opt.validated()
+	if err != nil {
+		return nil, err
+	}
+	group, stores, meta, err := persist.OpenGroup(faultfs.OS{}, dir)
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: %w", err)
+	}
+	closeAll := func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	if opt, err = reconcile(opt, meta.Family, meta.K, meta.Ell, meta.Shards); err != nil {
+		closeAll()
+		return nil, err
+	}
+	opt.Dir = dir
+	_, sim, err := familyFor(opt)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &ShardedCollection{
+		opt:    opt,
+		family: group.Family(),
+		sim:    sim,
+		group:  group,
+		stores: stores,
+	}, nil
+}
+
+// Close makes every shard durable at its current version and rewrites the
+// group manifest with the final shard version vector, then releases the
+// stores. Semantics otherwise match Collection.Close: idempotent, trivial
+// for in-memory collections, and the first sticky shard error is returned.
+func (c *ShardedCollection) Close() error {
+	if c.stores == nil || !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var cerr error
+	versions := make([]uint64, len(c.stores))
+	for s, st := range c.stores {
+		shard, store := c.group.Shard(s), st
+		shard.PublishAndThen(func(snap *lsh.Snapshot) {
+			if err := store.Checkpoint(snap); err != nil && cerr == nil {
+				cerr = err
+			}
+		})
+		versions[s] = store.DurableVersion()
+	}
+	spec, err := lsh.SpecOf(c.family)
+	if err == nil {
+		meta := persist.GroupMeta{
+			Family: spec, K: c.opt.K, Ell: c.opt.Tables,
+			Shards: c.group.S(), Versions: versions,
+		}
+		err = persist.WriteGroupManifest(faultfs.OS{}, c.opt.Dir, meta)
+	}
+	if err != nil && cerr == nil {
+		cerr = err
+	}
+	for _, st := range c.stores {
+		if err := st.Close(); err != nil && cerr == nil {
+			cerr = err
+		}
+	}
+	if cerr != nil {
+		return fmt.Errorf("lshjoin: close: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Package faultfs abstracts the handful of filesystem operations the
+// durability layer (internal/lsh/persist) needs — create/append/rename/
+// remove plus explicit file and directory fsync — behind an interface with
+// two implementations:
+//
+//   - OS delegates to the os package and is what production collections run
+//     on. Sync and SyncDir map to fsync(2) on the file and its directory, the
+//     two barriers the crash-consistency argument rests on.
+//   - MemFS (memfs.go) is an in-memory filesystem that models the durability
+//     semantics of a real disk — written-but-unsynced data and directory
+//     entries are tracked separately from synced state — and can inject
+//     write faults (error, short write, ENOSPC, failed sync, silent bit
+//     flip, hard crash) at the N-th mutating operation. The persist crash
+//     property tests drive every injection point of a recorded workload
+//     through it.
+//
+// The interface is deliberately tiny: no seeks, no partial reads, no
+// permissions. Whole-file reads plus append-only writes are all the snapshot
+// and delta-log formats need, and a small surface keeps the fault model
+// honest (every mutating operation is countable and injectable).
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the durability layer runs on.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir returns the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of name. A missing file reports
+	// fs.ErrNotExist via errors.Is.
+	ReadFile(name string) ([]byte, error)
+	// Create opens name for writing, truncating any existing contents.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath. Durability of the
+	// new directory entry requires a subsequent SyncDir.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir fsyncs dir, making its current entries (creates, renames,
+	// removes) durable.
+	SyncDir(dir string) error
+}
+
+// File is an open writable file. Writes are not durable until Sync returns;
+// Close does NOT imply Sync.
+type File interface {
+	io.Writer
+	// Sync makes all data written so far durable (fsync).
+	Sync() error
+	// Close releases the handle without syncing.
+	Close() error
+}
+
+// OS is the production FS over the os package.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Append implements FS.
+func (OS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// IsNotExist reports whether err means "file or directory does not exist"
+// for either implementation.
+func IsNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
+// Dir returns the directory component of path (filepath.Dir).
+func Dir(path string) string { return filepath.Dir(path) }

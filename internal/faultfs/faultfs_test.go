@@ -1,0 +1,231 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+func mustWrite(t *testing.T, f File, p []byte) {
+	t.Helper()
+	if n, err := f.Write(p); err != nil || n != len(p) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+}
+
+func newStore(t *testing.T) *MemFS {
+	t.Helper()
+	m := NewMem()
+	if err := m.MkdirAll("store"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMemCrashDropsUnsynced checks the core durability model: after a crash
+// that drops unsynced state, file data rolls back to the last Sync and
+// directory entries to the last SyncDir.
+func TestMemCrashDropsUnsynced(t *testing.T) {
+	m := newStore(t)
+	f, err := m.Create("store/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("store"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("+lost tail"))
+	f.Close()
+
+	// Entry never SyncDir'd: gone after crash.
+	g, err := m.Create("store/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, g, []byte("x"))
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	m.Crash(false)
+	got, err := m.ReadFile("store/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("after crash: %q", got)
+	}
+	if _, err := m.ReadFile("store/b"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("unsynced entry survived: %v", err)
+	}
+	// Stale handles from before the crash must not write.
+	if _, err := f.Write([]byte("zombie")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("stale handle write: %v", err)
+	}
+}
+
+// TestMemCrashKeepsEverythingWhenAsked checks the kind-crash policy used to
+// exercise torn-tail recovery: unsynced bytes survive.
+func TestMemCrashKeepsEverythingWhenAsked(t *testing.T) {
+	m := newStore(t)
+	f, _ := m.Create("store/a")
+	mustWrite(t, f, []byte("unsynced"))
+	m.Crash(true)
+	got, err := m.ReadFile("store/a")
+	if err != nil || !bytes.Equal(got, []byte("unsynced")) {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+// TestMemRenameDurability checks that a rename is visible immediately but
+// durable only after SyncDir.
+func TestMemRenameDurability(t *testing.T) {
+	m := newStore(t)
+	f, _ := m.Create("store/x.tmp")
+	mustWrite(t, f, []byte("v1"))
+	f.Sync()
+	f.Close()
+	m.SyncDir("store")
+	if err := m.Rename("store/x.tmp", "store/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("store/x"); err != nil {
+		t.Fatalf("rename not visible: %v", err)
+	}
+	m.Crash(false) // rename not SyncDir'd: old name returns
+	if _, err := m.ReadFile("store/x"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("unsynced rename survived crash")
+	}
+	got, err := m.ReadFile("store/x.tmp")
+	if err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("old entry after crash: %q, %v", got, err)
+	}
+
+	if err := m.Rename("store/x.tmp", "store/x"); err != nil {
+		t.Fatal(err)
+	}
+	m.SyncDir("store")
+	m.Crash(false)
+	if got, err := m.ReadFile("store/x"); err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("synced rename lost: %q, %v", got, err)
+	}
+}
+
+// TestMemTruncateRollsBack checks that Create over an existing durable file
+// restores the old contents when the truncation was never made durable.
+func TestMemTruncateRollsBack(t *testing.T) {
+	m := newStore(t)
+	f, _ := m.Create("store/a")
+	mustWrite(t, f, []byte("old"))
+	f.Sync()
+	f.Close()
+	m.SyncDir("store")
+	g, _ := m.Create("store/a")
+	mustWrite(t, g, []byte("new-unsynced"))
+	g.Close()
+	m.Crash(false)
+	got, err := m.ReadFile("store/a")
+	if err != nil || !bytes.Equal(got, []byte("old")) {
+		t.Fatalf("after crash: %q, %v", got, err)
+	}
+}
+
+// TestMemInjectionModes exercises each fault mode's shape.
+func TestMemInjectionModes(t *testing.T) {
+	t.Run("short_write", func(t *testing.T) {
+		m := newStore(t)
+		f, _ := m.Create("store/a")
+		m.SetPlan(Plan{Op: 1, Mode: ModeShortWrite})
+		n, err := f.Write([]byte("abcdef"))
+		if !errors.Is(err, ErrInjected) || n != 3 {
+			t.Fatalf("n=%d err=%v", n, err)
+		}
+		got, _ := m.ReadFile("store/a")
+		if !bytes.Equal(got, []byte("abc")) {
+			t.Fatalf("content %q", got)
+		}
+		// Transient: the next write succeeds.
+		mustWrite(t, f, []byte("!"))
+	})
+	t.Run("bit_flip", func(t *testing.T) {
+		m := newStore(t)
+		f, _ := m.Create("store/a")
+		m.SetPlan(Plan{Op: 1, Mode: ModeBitFlip})
+		mustWrite(t, f, []byte{0x00, 0x00, 0x00, 0x00})
+		got, _ := m.ReadFile("store/a")
+		if !bytes.Equal(got, []byte{0x00, 0x00, 0x10, 0x00}) {
+			t.Fatalf("content %v", got)
+		}
+	})
+	t.Run("enospc", func(t *testing.T) {
+		m := newStore(t)
+		f, _ := m.Create("store/a")
+		m.SetPlan(Plan{Op: 1, Mode: ModeNoSpace})
+		if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) || !errors.Is(err, ErrInjected) {
+			t.Fatalf("err=%v", err)
+		}
+		if got, _ := m.ReadFile("store/a"); len(got) != 0 {
+			t.Fatalf("content %q", got)
+		}
+	})
+	t.Run("sync_err_defers_to_sync", func(t *testing.T) {
+		m := newStore(t)
+		f, _ := m.Create("store/a")
+		// Op 1 is a Write — not eligible — so the plan fires on the Sync.
+		m.SetPlan(Plan{Op: 1, Mode: ModeSyncErr})
+		mustWrite(t, f, []byte("data"))
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync err=%v", err)
+		}
+		m.Crash(false)
+		m.SyncDir("store") // entry was never durable either way
+		if _, err := m.ReadFile("store/a"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatal("failed sync still made data durable")
+		}
+	})
+	t.Run("crash_mode_downs_disk", func(t *testing.T) {
+		m := newStore(t)
+		f, _ := m.Create("store/a")
+		mustWrite(t, f, []byte("pre"))
+		m.SetPlan(Plan{Op: 2, Mode: ModeCrash})
+		mustWrite(t, f, []byte("ok")) // op 1
+		if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("err=%v", err)
+		}
+		if err := m.SyncDir("store"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("post-crash op: %v", err)
+		}
+		m.Crash(true) // bring it back up
+		got, err := m.ReadFile("store/a")
+		if err != nil || !bytes.Equal(got, []byte("preok")) {
+			t.Fatalf("after restart: %q, %v", got, err)
+		}
+	})
+}
+
+// TestMemOpsCountsDeterministically pins the op counter used to sweep
+// injection points.
+func TestMemOpsCountsDeterministically(t *testing.T) {
+	run := func() int {
+		m := NewMem()
+		m.MkdirAll("store")
+		f, _ := m.Create("store/a")
+		f.Write([]byte("x"))
+		f.Sync()
+		f.Close()
+		m.Rename("store/a", "store/b")
+		m.SyncDir("store")
+		m.Remove("store/b")
+		return m.Ops()
+	}
+	a, b := run(), run()
+	if a != b || a != 7 { // mkdir, create, write, sync, rename, syncdir, remove
+		t.Fatalf("ops %d vs %d", a, b)
+	}
+}

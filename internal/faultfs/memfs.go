@@ -1,0 +1,422 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrInjected marks every failure produced by a MemFS fault plan, including
+// all operations attempted after a ModeCrash point ("the disk is gone").
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrNoSpace is the injected analogue of ENOSPC.
+var ErrNoSpace = fmt.Errorf("faultfs: no space left on device: %w", ErrInjected)
+
+// Mode selects the failure shape injected at the planned operation.
+type Mode int
+
+const (
+	// ModeNone disables injection.
+	ModeNone Mode = iota
+	// ModeCrash stops the disk: the planned operation and every later one
+	// fail with ErrInjected, leaving all state exactly as it was.
+	ModeCrash
+	// ModeErr fails the planned operation with ErrInjected and no effect;
+	// later operations succeed (a transient I/O error).
+	ModeErr
+	// ModeShortWrite applies only the first half of the planned write's
+	// buffer, then reports ErrInjected.
+	ModeShortWrite
+	// ModeNoSpace fails the planned operation with ErrNoSpace and no effect.
+	ModeNoSpace
+	// ModeSyncErr fails the planned Sync or SyncDir: the data stays written
+	// but does not become durable.
+	ModeSyncErr
+	// ModeBitFlip applies the planned write with one bit flipped and
+	// reports success — silent media corruption.
+	ModeBitFlip
+)
+
+// String implements fmt.Stringer for test names.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeCrash:
+		return "crash"
+	case ModeErr:
+		return "err"
+	case ModeShortWrite:
+		return "short_write"
+	case ModeNoSpace:
+		return "enospc"
+	case ModeSyncErr:
+		return "sync_err"
+	case ModeBitFlip:
+		return "bit_flip"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Plan injects Mode at the Op-th mutating operation (1-based, as counted by
+// Ops). When the Op-th operation is not eligible for the mode — a bit flip
+// or short write needs a Write, a sync error needs a Sync/SyncDir — the
+// injection fires at the next eligible operation instead.
+type Plan struct {
+	Op   int
+	Mode Mode
+}
+
+type opKind int
+
+const (
+	opWrite opKind = iota
+	opSync
+	opSyncDir
+	opCreate
+	opAppend
+	opRename
+	opRemove
+	opMkdir
+)
+
+func eligible(m Mode, k opKind) bool {
+	switch m {
+	case ModeShortWrite, ModeBitFlip:
+		return k == opWrite
+	case ModeSyncErr:
+		return k == opSync || k == opSyncDir
+	default:
+		return true
+	}
+}
+
+type action int
+
+const (
+	actNone action = iota
+	actFail
+	actNoSpace
+	actShort
+	actFlip
+)
+
+// inode is one file's contents: cur is what a reader of the live filesystem
+// sees, synced is what survives a power loss (the prefix made durable by the
+// last Sync).
+type inode struct {
+	cur    []byte
+	synced []byte
+}
+
+// memDir tracks a directory's entries the same way: cur is the live name
+// set, synced the set made durable by the last SyncDir.
+type memDir struct {
+	cur    map[string]*inode
+	synced map[string]*inode
+}
+
+// MemFS is an in-memory FS that models fsync-granular durability and
+// injects write faults. Directories themselves are durable once created
+// (MkdirAll survives Crash); files and directory entries are durable only up
+// to their last Sync / SyncDir. All methods are safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	dirs  map[string]*memDir
+	plan  Plan
+	fired bool
+	down  bool // ModeCrash hit: every subsequent op fails
+	ops   int
+	gen   int // incremented by Crash; stale file handles then fail
+}
+
+// NewMem returns an empty MemFS with no fault plan.
+func NewMem() *MemFS {
+	return &MemFS{dirs: make(map[string]*memDir)}
+}
+
+// SetPlan installs the fault plan (replacing any previous one) and resets
+// the operation counter, so Plan.Op counts from the next operation.
+func (m *MemFS) SetPlan(p Plan) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.plan, m.fired, m.ops = p, false, 0
+}
+
+// Ops returns the number of mutating operations performed since NewMem or
+// the last SetPlan — the sweep bound for exhaustive injection.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crash simulates a power loss and brings the filesystem back up. With
+// keepUnsynced, everything written survives (the kind crash: all caches made
+// it to media); otherwise state rolls back to what Sync and SyncDir made
+// durable. Any fault plan is cleared and outstanding file handles are
+// invalidated.
+func (m *MemFS) Crash(keepUnsynced bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gen++
+	m.down, m.fired, m.plan = false, false, Plan{}
+	if keepUnsynced {
+		return
+	}
+	for _, d := range m.dirs {
+		d.cur = make(map[string]*inode, len(d.synced))
+		for name, node := range d.synced {
+			node.cur = append([]byte(nil), node.synced...)
+			d.cur[name] = node
+		}
+	}
+}
+
+// arm counts one mutating operation and decides whether the plan fires on
+// it. Callers hold m.mu.
+func (m *MemFS) arm(k opKind) action {
+	if m.down {
+		return actFail
+	}
+	m.ops++
+	if m.plan.Mode == ModeNone || m.fired || m.ops < m.plan.Op || !eligible(m.plan.Mode, k) {
+		return actNone
+	}
+	m.fired = true
+	switch m.plan.Mode {
+	case ModeCrash:
+		m.down = true
+		return actFail
+	case ModeErr, ModeSyncErr:
+		return actFail
+	case ModeNoSpace:
+		return actNoSpace
+	case ModeShortWrite:
+		return actShort
+	case ModeBitFlip:
+		return actFlip
+	}
+	return actNone
+}
+
+func (m *MemFS) dir(path string) *memDir { return m.dirs[filepath.Clean(path)] }
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if act := m.arm(opMkdir); act != actNone {
+		if act == actNoSpace {
+			return ErrNoSpace
+		}
+		return fmt.Errorf("mkdir %s: %w", dir, ErrInjected)
+	}
+	p := filepath.Clean(dir)
+	for {
+		if m.dirs[p] == nil {
+			m.dirs[p] = &memDir{cur: map[string]*inode{}, synced: map[string]*inode{}}
+		}
+		parent := filepath.Dir(p)
+		if parent == p {
+			return nil
+		}
+		p = parent
+	}
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, fmt.Errorf("readdir %s: %w", dir, ErrInjected)
+	}
+	d := m.dir(dir)
+	if d == nil {
+		return nil, fmt.Errorf("readdir %s: %w", dir, fs.ErrNotExist)
+	}
+	names := make([]string, 0, len(d.cur))
+	for name := range d.cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, fmt.Errorf("read %s: %w", name, ErrInjected)
+	}
+	node := m.lookup(name)
+	if node == nil {
+		return nil, fmt.Errorf("read %s: %w", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), node.cur...), nil
+}
+
+func (m *MemFS) lookup(name string) *inode {
+	d := m.dir(filepath.Dir(name))
+	if d == nil {
+		return nil
+	}
+	return d.cur[filepath.Base(name)]
+}
+
+func (m *MemFS) open(name string, k opKind, truncate bool) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if act := m.arm(k); act != actNone {
+		if act == actNoSpace {
+			return nil, ErrNoSpace
+		}
+		return nil, fmt.Errorf("open %s: %w", name, ErrInjected)
+	}
+	d := m.dir(filepath.Dir(name))
+	if d == nil {
+		return nil, fmt.Errorf("open %s: %w", name, fs.ErrNotExist)
+	}
+	base := filepath.Base(name)
+	node := d.cur[base]
+	if node == nil || truncate {
+		// Truncation allocates a fresh inode so the synced directory entry
+		// (if any) keeps pointing at the old durable contents.
+		node = &inode{}
+		d.cur[base] = node
+	}
+	return &memFile{fs: m, node: node, gen: m.gen, name: name}, nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) { return m.open(name, opCreate, true) }
+
+// Append implements FS.
+func (m *MemFS) Append(name string) (File, error) { return m.open(name, opAppend, false) }
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if act := m.arm(opRename); act != actNone {
+		if act == actNoSpace {
+			return ErrNoSpace
+		}
+		return fmt.Errorf("rename %s: %w", oldpath, ErrInjected)
+	}
+	od := m.dir(filepath.Dir(oldpath))
+	nd := m.dir(filepath.Dir(newpath))
+	if od == nil || nd == nil {
+		return fmt.Errorf("rename %s: %w", oldpath, fs.ErrNotExist)
+	}
+	node := od.cur[filepath.Base(oldpath)]
+	if node == nil {
+		return fmt.Errorf("rename %s: %w", oldpath, fs.ErrNotExist)
+	}
+	delete(od.cur, filepath.Base(oldpath))
+	nd.cur[filepath.Base(newpath)] = node
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if act := m.arm(opRemove); act != actNone {
+		if act == actNoSpace {
+			return ErrNoSpace
+		}
+		return fmt.Errorf("remove %s: %w", name, ErrInjected)
+	}
+	d := m.dir(filepath.Dir(name))
+	if d == nil || d.cur[filepath.Base(name)] == nil {
+		return fmt.Errorf("remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(d.cur, filepath.Base(name))
+	return nil
+}
+
+// SyncDir implements FS.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if act := m.arm(opSyncDir); act != actNone {
+		if act == actNoSpace {
+			return ErrNoSpace
+		}
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
+	}
+	d := m.dir(dir)
+	if d == nil {
+		return fmt.Errorf("syncdir %s: %w", dir, fs.ErrNotExist)
+	}
+	d.synced = make(map[string]*inode, len(d.cur))
+	for name, node := range d.cur {
+		d.synced[name] = node
+	}
+	return nil
+}
+
+type memFile struct {
+	fs     *MemFS
+	node   *inode
+	gen    int
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed || f.gen != f.fs.gen {
+		return 0, fmt.Errorf("write %s: stale handle: %w", f.name, ErrInjected)
+	}
+	switch f.fs.arm(opWrite) {
+	case actFail:
+		return 0, fmt.Errorf("write %s: %w", f.name, ErrInjected)
+	case actNoSpace:
+		return 0, ErrNoSpace
+	case actShort:
+		h := len(p) / 2
+		f.node.cur = append(f.node.cur, p[:h]...)
+		return h, fmt.Errorf("write %s: %w", f.name, ErrInjected)
+	case actFlip:
+		q := append([]byte(nil), p...)
+		if len(q) > 0 {
+			q[len(q)/2] ^= 0x10
+		}
+		f.node.cur = append(f.node.cur, q...)
+		return len(p), nil
+	}
+	f.node.cur = append(f.node.cur, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed || f.gen != f.fs.gen {
+		return fmt.Errorf("sync %s: stale handle: %w", f.name, ErrInjected)
+	}
+	if act := f.fs.arm(opSync); act != actNone {
+		if act == actNoSpace {
+			return ErrNoSpace
+		}
+		return fmt.Errorf("sync %s: %w", f.name, ErrInjected)
+	}
+	f.node.synced = append([]byte(nil), f.node.cur...)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,202 @@
+package lsh
+
+import (
+	"reflect"
+	"unsafe"
+
+	"lshjoin/internal/vecmath"
+)
+
+// Per-version space accounting. Consecutive snapshots share almost all of
+// their structure (key backing arrays, bucket id slices, base lookup maps,
+// Fenwick subtrees), so the interesting quantity for snapshot GC is not a
+// version's total footprint but what it retains *beyond* the version it
+// grew from — the bytes that stay pinned as long as both versions are
+// reachable, and the bytes freed when the older one is dropped.
+//
+// RetainedBytes computes that by structure walking, not heap sampling: it
+// prunes every Fenwick subtree, bucket, backing array and lookup map that
+// is pointer-identical to (or backing-shared with) the base version and
+// charges only what this snapshot allocated on top. The numbers are
+// estimates in the same spirit as Table.SizeBytes — struct sizes via
+// unsafe.Sizeof plus a flat per-entry cost for maps, ignoring Go runtime
+// overheads — but they are deterministic, allocation-free to compute for
+// small deltas, and monotone in the real retention, which is what the
+// retention tests assert against (see retention_test.go).
+
+const (
+	// mapEntryBytes is the flat per-entry estimate for bucket lookup maps.
+	mapEntryBytes = 16
+)
+
+var (
+	wnodeBytes     = int64(unsafe.Sizeof(wnode{}))
+	bucketHdrBytes = int64(unsafe.Sizeof(bucket{}))
+	strHdrBytes    = int64(unsafe.Sizeof(""))
+	vecHdrBytes    = int64(unsafe.Sizeof(vecmath.Vector{}))
+	entryBytes     = int64(unsafe.Sizeof(vecmath.Entry{}))
+	snapHdrBytes   = int64(unsafe.Sizeof(Snapshot{}))
+	tableHdrBytes  = int64(unsafe.Sizeof(Table{}))
+)
+
+// sliceShared reports whether cur extends base in place: same backing
+// array, so only the elements past len(base) are new.
+func sliceShared[T any](cur, base []T) bool {
+	return len(base) > 0 && len(cur) >= len(base) && &cur[0] == &base[0]
+}
+
+// mapPtr returns the identity of a map value (0 for nil).
+func mapPtr[K comparable, V any](m map[K]V) uintptr {
+	if m == nil {
+		return 0
+	}
+	return reflect.ValueOf(m).Pointer()
+}
+
+// RetainedBytes estimates the bytes of index structure this snapshot keeps
+// alive beyond what base already keeps alive. RetainedBytes(nil) is the
+// snapshot's total estimated footprint; s.RetainedBytes(s) is 0; for
+// consecutive versions v-1, v the result is the marginal cost of holding
+// version v while v-1 is still reachable — the per-version retention bound
+// the GC tests assert.
+func (s *Snapshot) RetainedBytes(base *Snapshot) int64 {
+	if s == nil || s == base {
+		return 0
+	}
+	if base != nil && (base.ell != s.ell || base.narrow != s.narrow) {
+		base = nil // not versions of one index; no sharing to discover
+	}
+	total := snapHdrBytes + int64(s.ell)*tableHdrBytes
+	var baseData []vecmath.Vector
+	if base != nil {
+		baseData = base.data
+	}
+	total += retainedVectors(s.data, baseData, base != nil)
+	for t := 0; t < s.ell; t++ {
+		var bt *Table
+		if base != nil {
+			bt = base.tables[t]
+		}
+		total += s.tables[t].retainedBytes(bt)
+	}
+	return total
+}
+
+// retainedVectors charges the vector collection. A shared backing array
+// costs only the appended suffix (headers + entry payloads); a reallocated
+// one costs the fresh header array but not the entry payloads, which the
+// vectors still share with the base version.
+func retainedVectors(cur, base []vecmath.Vector, haveBase bool) int64 {
+	if sliceShared(cur, base) {
+		var total int64
+		for _, v := range cur[len(base):] {
+			total += vecHdrBytes + entryBytes*int64(len(v.Entries()))
+		}
+		return total
+	}
+	if haveBase && len(base) > 0 {
+		return vecHdrBytes * int64(cap(cur))
+	}
+	total := vecHdrBytes * int64(cap(cur)-len(cur))
+	for _, v := range cur {
+		total += vecHdrBytes + entryBytes*int64(len(v.Entries()))
+	}
+	return total
+}
+
+// retainedBytes charges one table against its base-version counterpart.
+func (t *Table) retainedBytes(bt *Table) int64 {
+	var total int64
+	// Per-vector key arrays.
+	if t.narrow {
+		if bt != nil && sliceShared(t.keys64, bt.keys64) {
+			total += 8 * int64(len(t.keys64)-len(bt.keys64))
+		} else {
+			total += 8 * int64(cap(t.keys64))
+		}
+	} else {
+		if bt != nil && sliceShared(t.keysStr, bt.keysStr) {
+			total += strHdrBytes * int64(len(t.keysStr)-len(bt.keysStr))
+		} else {
+			total += strHdrBytes * int64(cap(t.keysStr))
+		}
+	}
+	// Base lookup maps are shared wholesale until a compaction rebuilds
+	// them; the overlay map is copied whenever a merge appends buckets.
+	baseShared := bt != nil &&
+		(sliceShared(t.base64, bt.base64) || sliceShared(t.baseStr, bt.baseStr))
+	if !baseShared {
+		total += mapEntryBytes * int64(t.nbase)
+	}
+	ovlShared := bt != nil &&
+		mapPtr(t.ovl64) == mapPtr(bt.ovl64) && mapPtr(t.ovlStr) == mapPtr(bt.ovlStr)
+	if !ovlShared {
+		total += mapEntryBytes * int64(len(t.ovl64)+len(t.ovlStr))
+	}
+	// Fenwick nodes and buckets: walk this table's tree, pruning every
+	// subtree shared with the base version, and charge new leaves against
+	// the base bucket at the same index (bucket indices are stable — the
+	// sequence only ever appends).
+	var baseNodes map[*wnode]struct{}
+	var baseBuckets []*bucket
+	if bt != nil {
+		baseNodes = make(map[*wnode]struct{})
+		var collect func(n *wnode)
+		collect = func(n *wnode) {
+			if n == nil {
+				return
+			}
+			baseNodes[n] = struct{}{}
+			collect(n.l)
+			collect(n.r)
+		}
+		collect(bt.w.root)
+		baseBuckets = make([]*bucket, 0, bt.w.size)
+		bt.w.walk(func(_ int, b *bucket) bool {
+			baseBuckets = append(baseBuckets, b)
+			return true
+		})
+	}
+	var rec func(n *wnode, lo, sp int)
+	rec = func(n *wnode, lo, sp int) {
+		if n == nil {
+			return
+		}
+		if _, shared := baseNodes[n]; shared {
+			return
+		}
+		total += wnodeBytes
+		if sp <= 1 {
+			var old *bucket
+			if lo < len(baseBuckets) {
+				old = baseBuckets[lo]
+			}
+			total += t.retainedBucket(n.b, old)
+			return
+		}
+		rec(n.l, lo, sp/2)
+		rec(n.r, lo+sp/2, sp/2)
+	}
+	rec(t.w.root, 0, t.w.span)
+	return total
+}
+
+// retainedBucket charges one bucket header against the base version's
+// bucket at the same index: a pointer-identical bucket costs nothing, a
+// copied header extending the same id backing costs the appended ids, and
+// a reallocated one costs its full id capacity.
+func (t *Table) retainedBucket(b, old *bucket) int64 {
+	if b == nil || b == old {
+		return 0
+	}
+	total := bucketHdrBytes
+	if !t.narrow && old == nil {
+		total += int64(len(b.keyStr)) // new bucket: its key string is new too
+	}
+	if old != nil && sliceShared(b.ids, old.ids) {
+		total += 4 * int64(len(b.ids)-len(old.ids))
+	} else {
+		total += 4 * int64(cap(b.ids))
+	}
+	return total
+}

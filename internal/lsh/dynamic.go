@@ -213,6 +213,9 @@ func (x *Index) Insert(v vecmath.Vector) int {
 		}
 	}
 	x.npend.Add(1)
+	if x.hook != nil {
+		x.hook.OnInsert(id, v)
+	}
 	return id
 }
 
@@ -245,5 +248,8 @@ func (x *Index) InsertBatch(vs []vecmath.Vector) int {
 		}
 	}
 	x.npend.Add(int64(len(vs)))
+	if x.hook != nil {
+		x.hook.OnInsertBatch(first, vs)
+	}
 	return first
 }

@@ -34,6 +34,42 @@ type Index struct {
 	pend64   [][]uint64 // narrow mode: pending bucket keys, [table][i]
 	pendStr  [][]string // wide mode
 	scratch  []uint64   // per-writer hash scratch (guarded by mu)
+	hook     WriteHook  // durability observer (guarded by mu); nil when not persisted
+}
+
+// WriteHook observes the index's write path under the writer lock, in
+// exactly the order mutations are applied — the contract the durability
+// layer's delta log depends on: OnInsert/OnInsertBatch fire with the ids
+// just assigned, OnPublish fires with each freshly published version, and
+// no two callbacks ever run concurrently. Callbacks must not call back into
+// the index's write methods.
+type WriteHook interface {
+	OnInsert(id int, v vecmath.Vector)
+	OnInsertBatch(first int, vs []vecmath.Vector)
+	OnPublish(s *Snapshot)
+}
+
+// SetWriteHook installs (or, with nil, removes) the write hook. Mutations
+// already pending keep their place: they reach the hook only through the
+// OnPublish of the version that publishes them, so callers that need every
+// insert logged should install the hook before writing.
+func (x *Index) SetWriteHook(h WriteHook) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.hook = h
+}
+
+// PublishAndThen publishes any pending inserts and runs fn on the resulting
+// snapshot while still holding the writer lock, so no insert or publish can
+// interleave between the publication and fn. The durability layer uses this
+// to checkpoint: fn persists the snapshot knowing the delta log contains
+// nothing beyond it.
+func (x *Index) PublishAndThen(fn func(s *Snapshot)) *Snapshot {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s := x.publishLocked()
+	fn(s)
+	return s
 }
 
 // Build hashes every vector of data into ℓ tables of k concatenated hash
@@ -142,6 +178,9 @@ func (x *Index) publishLocked() *Snapshot {
 	x.pendData = x.pendData[:0]
 	x.cur.Store(next)
 	x.npend.Store(0)
+	if x.hook != nil {
+		x.hook.OnPublish(next)
+	}
 	return next
 }
 

@@ -1,0 +1,193 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lshjoin/internal/faultfs"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecmath"
+)
+
+// Crash-consistency property test: a fixed workload (build → create store →
+// inserts with periodic publishes → mid-workload checkpoint → final
+// checkpoint) is run once per injection point of every fault mode, the
+// filesystem is crashed, and recovery must land in exactly one of two
+// states:
+//
+//   - Open succeeds: the recovered index is deep-equal (SamplePair
+//     draw-for-draw) to a version the clean run actually published, no
+//     newer than the last one, and — for modes that cannot destroy synced
+//     bytes — no older than the faulty run's own durable floor.
+//   - Open fails: with a typed error (ErrCorrupt or ErrNotExist), only in
+//     runs where the fault could have mangled durable state (bit flips) or
+//     interrupted store creation itself.
+//
+// No run may panic, and every successful recovery must accept further
+// writes and reopen again.
+
+const (
+	crashInitial = 6
+	crashTotal   = 22
+	crashK       = 4
+	crashEll     = 2
+)
+
+func crashFamily() lsh.Family { return lsh.NewSimHash(131) }
+
+// crashWorkload drives the recorded workload against fsys. record, when
+// non-nil, captures every published snapshot by version (the shadow of the
+// clean run). abortOnErr simulates a process that notices the store failure
+// and exits mid-workload. Returns the store's durable floor (0 if Create
+// failed) and whether the store hooks were ever installed.
+func crashWorkload(data []vecmath.Vector, fsys faultfs.FS, record map[uint64]*lsh.Snapshot, abortOnErr bool) (floor uint64, created bool) {
+	idx, err := lsh.Build(data[:crashInitial], crashFamily(), crashK, crashEll)
+	if err != nil {
+		panic(err) // in-memory build cannot fail on valid input
+	}
+	st, err := Create(fsys, "db", idx)
+	if err != nil {
+		return 0, false
+	}
+	if record != nil {
+		record[idx.Current().Version()] = idx.Current()
+	}
+	checkpoint := func() {
+		idx.PublishAndThen(func(s *lsh.Snapshot) {
+			if record != nil {
+				record[s.Version()] = s
+			}
+			st.Checkpoint(s) // failure is sticky; recovery owns the outcome
+		})
+	}
+	for i := crashInitial; i < crashTotal; i++ {
+		idx.Insert(data[i])
+		if (i-crashInitial)%3 == 2 {
+			s := idx.Snapshot()
+			if record != nil {
+				record[s.Version()] = s
+			}
+		}
+		if i == 14 {
+			checkpoint()
+		}
+		if abortOnErr && st.Err() != nil {
+			floor = st.DurableVersion()
+			st.Close()
+			return floor, true
+		}
+	}
+	checkpoint()
+	floor = st.DurableVersion()
+	st.Close()
+	return floor, true
+}
+
+// crashRun is one cell of the injection matrix.
+func crashRun(t *testing.T, data []vecmath.Vector, shadow map[uint64]*lsh.Snapshot, ceiling uint64, plan faultfs.Plan, keepUnsynced, abortOnErr bool) {
+	t.Helper()
+	fsys := faultfs.NewMem()
+	fsys.SetPlan(plan)
+	floor, created := crashWorkload(data, fsys, nil, abortOnErr)
+	fsys.Crash(keepUnsynced)
+
+	lossy := plan.Mode == faultfs.ModeBitFlip
+	idx, st, err := Open(fsys, "db")
+	if err != nil {
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotExist) {
+			t.Fatalf("recovery failed with untyped error: %v", err)
+		}
+		if created && !lossy {
+			t.Fatalf("non-lossy mode must recover once the store exists, got %v", err)
+		}
+		return
+	}
+	v := idx.Current().Version()
+	want, ok := shadow[v]
+	if !ok {
+		t.Fatalf("recovered version %d was never published (ceiling %d)", v, ceiling)
+	}
+	if v > ceiling {
+		t.Fatalf("recovered version %d beyond ceiling %d", v, ceiling)
+	}
+	if !lossy && v < floor {
+		t.Fatalf("recovered version %d below durable floor %d", v, floor)
+	}
+	snapshotsEqual(t, want, idx.Current(), 7001+uint64(plan.Op))
+
+	// A recovered store must keep working: one more durable publish, then a
+	// second recovery sees it.
+	idx.Insert(data[0])
+	next := idx.Snapshot()
+	if st.Err() != nil {
+		t.Fatalf("store broken after recovery: %v", st.Err())
+	}
+	if st.DurableVersion() != next.Version() {
+		t.Fatalf("post-recovery durable = %d, want %d", st.DurableVersion(), next.Version())
+	}
+	st.Close()
+	idx2, st2, err := Open(fsys, "db")
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	snapshotsEqual(t, next, idx2.Current(), 7501+uint64(plan.Op))
+	st2.Close()
+}
+
+// TestCrashConsistencyProperty sweeps every injection point × fault mode ×
+// crash-retention policy over the recorded workload.
+func TestCrashConsistencyProperty(t *testing.T) {
+	data := testData(crashTotal, 211)
+
+	// Shadow run: record every published version and count the ops the
+	// clean workload performs — the sweep bound.
+	shadowFS := faultfs.NewMem()
+	shadow := make(map[uint64]*lsh.Snapshot)
+	crashWorkload(data, shadowFS, shadow, false)
+	totalOps := shadowFS.Ops()
+	if totalOps < 20 {
+		t.Fatalf("workload too small to be interesting: %d ops", totalOps)
+	}
+	var ceiling uint64
+	for v := range shadow {
+		if v > ceiling {
+			ceiling = v
+		}
+	}
+
+	type cell struct {
+		mode  faultfs.Mode
+		keeps []bool // crash-retention policies to sweep
+		abort bool   // also run the abort-on-error variant
+	}
+	cells := []cell{
+		// A pure crash drops unsynced state; sweeping keep=true too checks
+		// that "everything made it to media" also recovers.
+		{faultfs.ModeCrash, []bool{false, true}, false},
+		{faultfs.ModeErr, []bool{true}, true},
+		{faultfs.ModeShortWrite, []bool{true}, true},
+		{faultfs.ModeNoSpace, []bool{true}, true},
+		{faultfs.ModeSyncErr, []bool{true}, true},
+		{faultfs.ModeBitFlip, []bool{true}, true},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.mode.String(), func(t *testing.T) {
+			for op := 1; op <= totalOps; op++ {
+				for _, keep := range c.keeps {
+					plan := faultfs.Plan{Op: op, Mode: c.mode}
+					name := fmt.Sprintf("op%03d/keep=%v", op, keep)
+					t.Run(name, func(t *testing.T) {
+						crashRun(t, data, shadow, ceiling, plan, keep, false)
+					})
+					if c.abort {
+						t.Run(name+"/abort", func(t *testing.T) {
+							crashRun(t, data, shadow, ceiling, plan, keep, true)
+						})
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,553 @@
+// Package persist gives LSH indexes a crash-safe on-disk home. The design
+// follows the snapshot discipline of the in-memory layer: immutable
+// published versions are the durability unit.
+//
+// A store directory holds three kinds of files:
+//
+//	MANIFEST        names the latest durable checkpoint version v
+//	snap-<v>.lsnap  the checkpointed snapshot (format.go)
+//	wal-<v>.log     the pending-delta log extending checkpoint v (wal.go)
+//
+// Checkpoints are written cold-path atomic: snapshot to a temp file, fsync,
+// rename, directory fsync, then the manifest the same way, then a fresh
+// empty delta log — so a crash at any byte leaves either the old checkpoint
+// chain or the new one, never a mix. Between checkpoints, the Store hangs
+// off the index's write hook (lsh.WriteHook): inserts append records to an
+// in-memory buffer, and each publish appends a marker, writes the buffer to
+// the log and fsyncs it. Recovery (Open) is therefore pure replay: load
+// snap-<v>, re-insert the log's records, and cut versions at the markers —
+// which reproduces the exact merge sequence of the original process, so the
+// reopened index is deep-equal to the last durable publish, SamplePair
+// draw-for-draw included.
+//
+// Failure handling is sticky: the first log write or sync error disables
+// further appends (a half-written record must never be followed by a valid
+// one, or recovery would see mid-file corruption instead of a torn tail).
+// A later successful checkpoint repairs the store — the snapshot supersedes
+// the broken log — which is what Close attempts. The crash-consistency
+// property test (persist_test.go) drives every injection point of
+// internal/faultfs through this machinery.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"lshjoin/internal/faultfs"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecmath"
+)
+
+var (
+	// ErrCorrupt reports a store whose on-disk state fails validation in a
+	// way recovery must not paper over: checksum mismatches away from the
+	// log tail, impossible structure, version skew between files.
+	ErrCorrupt = errors.New("persist: corrupt store")
+	// ErrExists reports a Create into a directory that already holds a store.
+	ErrExists = errors.New("persist: store already exists")
+	// ErrNotExist reports an Open of a directory holding no store.
+	ErrNotExist = errors.New("persist: store does not exist")
+)
+
+const (
+	manifestName = "MANIFEST"
+	groupName    = "GROUP"
+
+	// DefaultCheckpointBytes caps delta-log growth: once a publish leaves
+	// the log larger than this, the store checkpoints inline, bounding
+	// both recovery replay time and disk usage.
+	DefaultCheckpointBytes = 4 << 20
+
+	// maxBatchRecVectors splits large InsertBatch calls across several log
+	// records, keeping any single record's length well inside uint32.
+	maxBatchRecVectors = 1 << 16
+)
+
+func snapName(v uint64) string { return fmt.Sprintf("snap-%016x.lsnap", v) }
+func walName(v uint64) string  { return fmt.Sprintf("wal-%016x.log", v) }
+
+// Store is the durable backing of one lsh.Index. It implements
+// lsh.WriteHook; install it with idx.SetWriteHook (Create and Open do).
+// Hook callbacks run under the index's writer lock, so the log order always
+// matches the id-assignment order.
+//
+// Insert cannot return errors through the public API, so log failures are
+// sticky and surface at Close (or Err): after one, the store stops logging
+// and the durable state freezes at the last version that reached disk,
+// until a successful checkpoint repairs it.
+type Store struct {
+	fs  faultfs.FS
+	dir string
+
+	mu              sync.Mutex
+	wal             faultfs.File
+	walBase         uint64 // checkpoint version the current log extends
+	walLen          int    // bytes written to the log, header included
+	durable         uint64 // last version known durable
+	buf             []byte // records encoded but not yet written
+	err             error  // sticky first failure; cleared by checkpoint
+	closed          bool
+	checkpointBytes int
+}
+
+// Create initializes a fresh store in dir from the index's current state
+// (publishing any pending inserts) and installs the write hook. It must
+// complete before the index is shared with concurrent writers. Creating
+// over an existing store reports ErrExists.
+func Create(fsys faultfs.FS, dir string, idx *lsh.Index) (*Store, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("persist: create %s: %w", dir, err)
+	}
+	if _, err := fsys.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("persist: %s: %w", dir, ErrExists)
+	} else if !faultfs.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: create %s: %w", dir, err)
+	}
+	st := &Store{fs: fsys, dir: dir, checkpointBytes: DefaultCheckpointBytes}
+	st.mu.Lock()
+	err := st.checkpointLocked(idx.Snapshot())
+	st.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	idx.SetWriteHook(st)
+	return st, nil
+}
+
+// Open recovers the store in dir: the manifest's checkpoint is loaded, the
+// delta log's valid prefix replayed (a torn tail is truncated, never
+// served), and the write hook installed on the recovered index. It must
+// complete before the index is shared. A directory without a store reports
+// ErrNotExist; one whose contents fail validation reports ErrCorrupt.
+func Open(fsys faultfs.FS, dir string) (*lsh.Index, *Store, error) {
+	mdata, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if !faultfs.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
+		}
+		// No manifest. An empty or missing directory is "no store"; store
+		// files without a manifest mean the manifest was lost — corrupt.
+		names, derr := fsys.ReadDir(dir)
+		if derr == nil && hasStoreFiles(names) {
+			return nil, nil, fmt.Errorf("persist: %s has store files but no manifest: %w", dir, ErrCorrupt)
+		}
+		return nil, nil, fmt.Errorf("persist: %s: %w", dir, ErrNotExist)
+	}
+	v, err := decodeManifest(mdata)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, err := fsys.ReadFile(filepath.Join(dir, snapName(v)))
+	if err != nil {
+		return nil, nil, corrupt("persist: manifest names version %d but its snapshot is unreadable (%v)", v, err)
+	}
+	idx, err := decodeSnapshot(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got := idx.Current().Version(); got != v {
+		return nil, nil, corrupt("persist: snapshot file carries version %d, manifest %d", got, v)
+	}
+
+	st := &Store{
+		fs: fsys, dir: dir,
+		walBase: v, durable: v,
+		checkpointBytes: DefaultCheckpointBytes,
+	}
+	wpath := filepath.Join(dir, walName(v))
+	wdata, err := fsys.ReadFile(wpath)
+	switch {
+	case faultfs.IsNotExist(err):
+		wdata = nil // crashed between manifest and log creation: empty log
+	case err != nil:
+		return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
+	}
+	recs, validLen, err := scanWAL(wdata, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := replay(idx, st, recs); err != nil {
+		return nil, nil, err
+	}
+	// Make the truncation durable before appending anything: rewrite the
+	// valid prefix (or a fresh header) atomically, then reopen for append.
+	if validLen < len(wdata) || len(wdata) < walHeaderLen {
+		prefix := wdata[:validLen]
+		if validLen == 0 {
+			prefix = appendWalHeader(nil, v)
+		}
+		if err := st.writeFileSync(walName(v), prefix); err != nil {
+			return nil, nil, err
+		}
+		st.walLen = len(prefix)
+	} else {
+		st.walLen = validLen
+	}
+	if st.wal, err = fsys.Append(wpath); err != nil {
+		return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
+	}
+	idx.SetWriteHook(st)
+	return idx, st, nil
+}
+
+// replay applies the decoded delta-log records to the checkpointed index,
+// verifying that ids and versions land exactly where the log says they did
+// — any disagreement means the log and snapshot are not from the same
+// history.
+func replay(idx *lsh.Index, st *Store, recs []walRec) error {
+	for _, rec := range recs {
+		switch rec.kind {
+		case recInsert:
+			if id := idx.Insert(rec.vecs[0]); id != rec.id {
+				return corrupt("persist: replayed insert got id %d, log says %d", id, rec.id)
+			}
+		case recBatch:
+			if first := idx.InsertBatch(rec.vecs); first != rec.id {
+				return corrupt("persist: replayed batch got first id %d, log says %d", first, rec.id)
+			}
+		case recPublish:
+			s := idx.Snapshot()
+			if s.Version() != rec.version {
+				return corrupt("persist: replayed publish got version %d, log says %d", s.Version(), rec.version)
+			}
+			st.durable = rec.version
+		}
+	}
+	return nil
+}
+
+// hasStoreFiles reports whether any directory entry looks like store state
+// (temp files from an interrupted create don't count).
+func hasStoreFiles(names []string) bool {
+	for _, name := range names {
+		if name == manifestName || name == groupName {
+			return true
+		}
+		if filepath.Ext(name) == ".lsnap" || filepath.Ext(name) == ".log" {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns the sticky failure, if any. While non-nil, inserts are not
+// being logged and the durable state is frozen at DurableVersion.
+func (st *Store) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// DurableVersion returns the last snapshot version known to be durable:
+// every publish up to it has either been checkpointed or fsynced to the
+// delta log.
+func (st *Store) DurableVersion() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.durable
+}
+
+// SetCheckpointBytes overrides DefaultCheckpointBytes (0 disables inline
+// checkpointing).
+func (st *Store) SetCheckpointBytes(n int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.checkpointBytes = n
+}
+
+// OnInsert implements lsh.WriteHook.
+func (st *Store) OnInsert(id int, v vecmath.Vector) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err != nil || st.closed {
+		return
+	}
+	st.buf = appendInsertRec(st.buf, id, v)
+}
+
+// OnInsertBatch implements lsh.WriteHook.
+func (st *Store) OnInsertBatch(first int, vs []vecmath.Vector) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err != nil || st.closed {
+		return
+	}
+	for len(vs) > maxBatchRecVectors {
+		st.buf = appendBatchRec(st.buf, first, vs[:maxBatchRecVectors])
+		first += maxBatchRecVectors
+		vs = vs[maxBatchRecVectors:]
+	}
+	st.buf = appendBatchRec(st.buf, first, vs)
+}
+
+// OnPublish implements lsh.WriteHook: the publish marker is appended and
+// the whole buffer flushed + fsynced, making the new version durable. When
+// the log has outgrown the checkpoint threshold, the store checkpoints
+// inline (the callback runs under the index writer lock, so the snapshot is
+// guaranteed current).
+func (st *Store) OnPublish(s *lsh.Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err != nil || st.closed {
+		return
+	}
+	st.buf = appendPublishRec(st.buf, s.Version())
+	if err := st.flushLocked(); err != nil {
+		st.err = err
+		return
+	}
+	st.durable = s.Version()
+	if st.checkpointBytes > 0 && st.walLen > st.checkpointBytes {
+		if err := st.checkpointLocked(s); err != nil {
+			st.err = err
+		}
+	}
+}
+
+// flushLocked writes the buffered records to the log and fsyncs.
+func (st *Store) flushLocked() error {
+	if len(st.buf) == 0 {
+		return nil
+	}
+	n, err := st.wal.Write(st.buf)
+	if err != nil {
+		st.buf = nil // a partial record may be on disk; never append again
+		return fmt.Errorf("persist: delta log write: %w", err)
+	}
+	st.walLen += n
+	st.buf = st.buf[:0]
+	if err := st.wal.Sync(); err != nil {
+		st.buf = nil
+		return fmt.Errorf("persist: delta log sync: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint persists s as a fresh durable checkpoint and resets the delta
+// log. The snapshot must be the index's current version with no log records
+// beyond it — call it from idx.PublishAndThen (or before the index is
+// shared), never from an unsynchronized goroutine. A successful checkpoint
+// clears a sticky error: the snapshot supersedes whatever the broken log
+// was missing.
+func (st *Store) Checkpoint(s *lsh.Snapshot) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.checkpointLocked(s)
+}
+
+func (st *Store) checkpointLocked(s *lsh.Snapshot) error {
+	if st.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	v := s.Version()
+	blob, err := encodeSnapshot(s)
+	if err != nil {
+		st.err = err
+		return err
+	}
+	if err := st.writeFileSync(snapName(v), blob); err != nil {
+		st.err = err
+		return err
+	}
+	if err := st.writeFileSync(manifestName, encodeManifest(v)); err != nil {
+		st.err = err
+		return err
+	}
+	// The old checkpoint chain is no longer named; start the new log. A
+	// crash before the log exists is fine — Open treats a missing log as
+	// empty — so the store is already durable at v from here on.
+	if st.wal != nil {
+		st.wal.Close()
+		st.wal = nil
+	}
+	f, err := st.fs.Create(filepath.Join(st.dir, walName(v)))
+	if err != nil {
+		st.err = err
+		return fmt.Errorf("persist: create delta log: %w", err)
+	}
+	hdr := appendWalHeader(nil, v)
+	_, err = f.Write(hdr)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		st.err = err
+		return fmt.Errorf("persist: init delta log: %w", err)
+	}
+	if err := st.fs.SyncDir(st.dir); err != nil {
+		f.Close()
+		st.err = err
+		return fmt.Errorf("persist: sync store dir: %w", err)
+	}
+	st.wal, st.walBase, st.walLen = f, v, len(hdr)
+	st.buf = nil
+	st.durable = v
+	st.err = nil
+	st.cleanupLocked(v)
+	return nil
+}
+
+// cleanupLocked removes snapshots and logs from before the checkpoint at
+// keep, best-effort: failures leave garbage files, never inconsistency.
+func (st *Store) cleanupLocked(keep uint64) {
+	names, err := st.fs.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		stale := (filepath.Ext(name) == ".lsnap" && name != snapName(keep)) ||
+			(filepath.Ext(name) == ".log" && name != walName(keep)) ||
+			filepath.Ext(name) == ".tmp"
+		if stale {
+			st.fs.Remove(filepath.Join(st.dir, name))
+		}
+	}
+}
+
+// writeFileSync writes name atomically: temp file, fsync, rename, directory
+// fsync.
+func (st *Store) writeFileSync(name string, data []byte) error {
+	tmp := filepath.Join(st.dir, name+".tmp")
+	f, err := st.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("persist: create %s: %w", tmp, err)
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("persist: write %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: close %s: %w", tmp, err)
+	}
+	if err := st.fs.Rename(tmp, filepath.Join(st.dir, name)); err != nil {
+		return fmt.Errorf("persist: rename %s: %w", name, err)
+	}
+	if err := st.fs.SyncDir(st.dir); err != nil {
+		return fmt.Errorf("persist: sync store dir: %w", err)
+	}
+	return nil
+}
+
+// Close releases the log handle and reports the sticky error, if any. It
+// does not checkpoint — callers that want shutdown durability checkpoint
+// first via idx.PublishAndThen (the public Collection.Close does). Close is
+// idempotent; a closed store ignores further hook callbacks.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	if st.wal != nil {
+		st.wal.Close()
+		st.wal = nil
+	}
+	return st.err
+}
+
+// shardDirName names shard s's store directory inside a group store.
+func shardDirName(s int) string { return fmt.Sprintf("shard-%04d", s) }
+
+// ShardDir returns the store directory of shard s inside the group store
+// rooted at dir.
+func ShardDir(dir string, s int) string { return filepath.Join(dir, shardDirName(s)) }
+
+// CreateGroup initializes a sharded store: one sub-store per shard plus the
+// GROUP manifest, written last as the commit point. It must complete before
+// the group is shared with writers.
+func CreateGroup(fsys faultfs.FS, dir string, g *lsh.ShardGroup) ([]*Store, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("persist: create group %s: %w", dir, err)
+	}
+	if _, err := fsys.ReadFile(filepath.Join(dir, groupName)); err == nil {
+		return nil, fmt.Errorf("persist: %s: %w", dir, ErrExists)
+	} else if !faultfs.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: create group %s: %w", dir, err)
+	}
+	spec, err := lsh.SpecOf(g.Family())
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	stores := make([]*Store, g.S())
+	for s := 0; s < g.S(); s++ {
+		if stores[s], err = Create(fsys, ShardDir(dir, s), g.Shard(s)); err != nil {
+			return nil, err
+		}
+	}
+	meta := GroupMeta{Family: spec, K: g.K(), Ell: g.L(), Shards: g.S(), Versions: groupVersions(stores)}
+	if err := WriteGroupManifest(fsys, dir, meta); err != nil {
+		return nil, err
+	}
+	return stores, nil
+}
+
+// OpenGroup recovers a sharded store: the GROUP manifest names the shape,
+// each shard recovers independently through Open, and the reassembled group
+// routes exactly as the one that wrote the stores.
+func OpenGroup(fsys faultfs.FS, dir string) (*lsh.ShardGroup, []*Store, GroupMeta, error) {
+	var meta GroupMeta
+	mdata, err := fsys.ReadFile(filepath.Join(dir, groupName))
+	if err != nil {
+		if !faultfs.IsNotExist(err) {
+			return nil, nil, meta, fmt.Errorf("persist: open group %s: %w", dir, err)
+		}
+		names, derr := fsys.ReadDir(dir)
+		if derr == nil && hasGroupFiles(names) {
+			return nil, nil, meta, fmt.Errorf("persist: %s has shard stores but no group manifest: %w", dir, ErrCorrupt)
+		}
+		return nil, nil, meta, fmt.Errorf("persist: %s: %w", dir, ErrNotExist)
+	}
+	if meta, err = decodeGroupManifest(mdata); err != nil {
+		return nil, nil, meta, err
+	}
+	family, err := lsh.FamilyFromSpec(meta.Family)
+	if err != nil {
+		return nil, nil, meta, corrupt("persist: %v", err)
+	}
+	idxs := make([]*lsh.Index, meta.Shards)
+	stores := make([]*Store, meta.Shards)
+	for s := 0; s < meta.Shards; s++ {
+		if idxs[s], stores[s], err = Open(fsys, ShardDir(dir, s)); err != nil {
+			return nil, nil, meta, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	g, err := lsh.NewShardGroupFromIndexes(family, meta.K, meta.Ell, idxs)
+	if err != nil {
+		return nil, nil, meta, corrupt("persist: %v", err)
+	}
+	meta.Versions = groupVersions(stores)
+	return g, stores, meta, nil
+}
+
+// WriteGroupManifest atomically (re)writes the GROUP manifest.
+func WriteGroupManifest(fsys faultfs.FS, dir string, m GroupMeta) error {
+	st := &Store{fs: fsys, dir: dir}
+	return st.writeFileSync(groupName, encodeGroupManifest(m))
+}
+
+// groupVersions collects the per-shard durable versions.
+func groupVersions(stores []*Store) []uint64 {
+	out := make([]uint64, len(stores))
+	for s, st := range stores {
+		out[s] = st.DurableVersion()
+	}
+	return out
+}
+
+// hasGroupFiles reports whether names contains shard store directories.
+func hasGroupFiles(names []string) bool {
+	for _, name := range names {
+		if len(name) >= 6 && name[:6] == "shard-" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,636 @@
+package persist
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"lshjoin/internal/faultfs"
+	"lshjoin/internal/lsh"
+	"lshjoin/internal/vecmath"
+	"lshjoin/internal/xrand"
+)
+
+// testData generates n sparse vectors over a small dimension universe, so
+// bucket collisions (and hence non-trivial Fenwick weights) are common.
+func testData(n int, seed uint64) []vecmath.Vector {
+	rng := xrand.New(seed)
+	out := make([]vecmath.Vector, n)
+	for i := range out {
+		dims := map[uint32]struct{}{}
+		for len(dims) < 2+rng.Intn(3) {
+			dims[uint32(rng.Intn(40))] = struct{}{}
+		}
+		flat := make([]uint32, 0, len(dims))
+		for d := range dims {
+			flat = append(flat, d)
+		}
+		out[i] = vecmath.FromDims(flat)
+	}
+	return out
+}
+
+type bucketDump struct {
+	key string
+	ids []int32
+}
+
+func dumpTable(tb *lsh.Table) []bucketDump {
+	var out []bucketDump
+	tb.ForEachBucket(func(key string, ids []int32) bool {
+		out = append(out, bucketDump{key: key, ids: append([]int32(nil), ids...)})
+		return true
+	})
+	return out
+}
+
+// snapshotsEqual asserts got is observably identical to want: parameters,
+// version, vector data, canonical bucket dumps, stratum weights, and the
+// exact SamplePair draw stream under a fixed seed (the strongest equivalence
+// the estimators can distinguish).
+func snapshotsEqual(t *testing.T, want, got *lsh.Snapshot, seed uint64) {
+	t.Helper()
+	if got.Version() != want.Version() {
+		t.Fatalf("version = %d, want %d", got.Version(), want.Version())
+	}
+	if got.N() != want.N() || got.K() != want.K() || got.L() != want.L() {
+		t.Fatalf("shape (n=%d k=%d l=%d), want (n=%d k=%d l=%d)",
+			got.N(), got.K(), got.L(), want.N(), want.K(), want.L())
+	}
+	if got.Family() != want.Family() {
+		t.Fatalf("family %v, want %v", got.Family(), want.Family())
+	}
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if !vecmath.Equal(wd[i], gd[i]) {
+			t.Fatalf("vector %d differs", i)
+		}
+	}
+	for ti := 0; ti < want.L(); ti++ {
+		wt, gt := want.Table(ti), got.Table(ti)
+		if wt.NH() != gt.NH() {
+			t.Fatalf("table %d: NH %d, want %d", ti, gt.NH(), wt.NH())
+		}
+		wb, gb := dumpTable(wt), dumpTable(gt)
+		if len(wb) != len(gb) {
+			t.Fatalf("table %d: %d buckets, want %d", ti, len(gb), len(wb))
+		}
+		for bi := range wb {
+			if wb[bi].key != gb[bi].key {
+				t.Fatalf("table %d bucket %d: key mismatch", ti, bi)
+			}
+			if len(wb[bi].ids) != len(gb[bi].ids) {
+				t.Fatalf("table %d bucket %d: %d ids, want %d", ti, bi, len(gb[bi].ids), len(wb[bi].ids))
+			}
+			for k := range wb[bi].ids {
+				if wb[bi].ids[k] != gb[bi].ids[k] {
+					t.Fatalf("table %d bucket %d id %d: %d, want %d",
+						ti, bi, k, gb[bi].ids[k], wb[bi].ids[k])
+				}
+			}
+		}
+		if wt.NH() == 0 {
+			continue
+		}
+		ra, rb := xrand.New(seed+uint64(ti)), xrand.New(seed+uint64(ti))
+		for d := 0; d < 64; d++ {
+			wi, wj, wok := wt.SamplePair(ra)
+			gi, gj, gok := gt.SamplePair(rb)
+			if wi != gi || wj != gj || wok != gok {
+				t.Fatalf("table %d draw %d: (%d,%d,%v), want (%d,%d,%v)",
+					ti, d, gi, gj, gok, wi, wj, wok)
+			}
+		}
+	}
+}
+
+var roundtripConfigs = []struct {
+	name   string
+	family lsh.Family
+	k, ell int
+}{
+	{"simhash_narrow", lsh.NewSimHash(11), 8, 3}, // 8·1 ≤ 64: uint64 keys
+	{"simhash_wide", lsh.NewSimHash(12), 70, 2},  // 70·1 > 64: string keys
+	{"minhash_narrow", lsh.NewMinHash(13), 2, 2}, // 2·32 ≤ 64
+	{"minhash_wide", lsh.NewMinHash(14), 3, 1},   // 3·32 > 64
+}
+
+// TestRoundtrip checks the core durability contract across all key-width ×
+// family configurations: a checkpointed store reopens deep-equal to the last
+// published version, SamplePair draw-for-draw.
+func TestRoundtrip(t *testing.T) {
+	for _, cfg := range roundtripConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			fsys := faultfs.NewMem()
+			data := testData(40, 21)
+			idx, err := lsh.Build(data[:25], cfg.family, cfg.k, cfg.ell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := Create(fsys, "db", idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 25; i < 40; i++ {
+				idx.Insert(data[i])
+				if i%4 == 0 {
+					idx.Snapshot()
+				}
+			}
+			var want *lsh.Snapshot
+			idx.PublishAndThen(func(s *lsh.Snapshot) {
+				want = s
+				if err := st.Checkpoint(s); err != nil {
+					t.Errorf("checkpoint: %v", err)
+				}
+			})
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, st2, err := Open(fsys, "db")
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapshotsEqual(t, want, got.Current(), 77)
+			if st2.DurableVersion() != want.Version() {
+				t.Fatalf("durable = %d, want %d", st2.DurableVersion(), want.Version())
+			}
+			if err := st2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReplayWithoutCheckpoint checks the delta-log path alone: versions
+// published after the initial checkpoint recover by replay, and inserts never
+// reaching a publish are (by contract) not durable.
+func TestReplayWithoutCheckpoint(t *testing.T) {
+	fsys := faultfs.NewMem()
+	data := testData(30, 31)
+	idx, err := lsh.Build(data[:10], lsh.NewSimHash(5), 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Create(fsys, "db", idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want *lsh.Snapshot
+	for i := 10; i < 30; i++ {
+		idx.Insert(data[i])
+		if i%3 == 0 {
+			want = idx.Snapshot()
+		}
+	}
+	// Three inserts (28, 29 plus the unpublished 27) are pending or
+	// buffered but never published: the durability unit is the publish.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st2, err := Open(fsys, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snapshotsEqual(t, want, got.Current(), 99)
+	if got.Pending() != 0 {
+		t.Fatalf("recovered index has %d pending", got.Pending())
+	}
+
+	// The reopened store keeps extending the same log.
+	got.Insert(data[0])
+	next := got.Snapshot()
+	if st2.Err() != nil {
+		t.Fatal(st2.Err())
+	}
+	if st2.DurableVersion() != next.Version() {
+		t.Fatalf("durable = %d, want %d", st2.DurableVersion(), next.Version())
+	}
+	st2.Close()
+	got2, st3, err := Open(fsys, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	snapshotsEqual(t, next, got2.Current(), 100)
+}
+
+// writeRaw replaces a file's bytes directly, bypassing the store.
+func writeRaw(t *testing.T, fsys faultfs.FS, name string, data []byte) {
+	t.Helper()
+	f, err := fsys.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// logSetup builds a store whose delta log holds several published versions,
+// returning the filesystem, the log path, and the published snapshots by
+// version.
+func logSetup(t *testing.T) (*faultfs.MemFS, string, map[uint64]*lsh.Snapshot) {
+	t.Helper()
+	fsys := faultfs.NewMem()
+	data := testData(26, 41)
+	idx, err := lsh.Build(data[:10], lsh.NewSimHash(7), 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Create(fsys, "db", idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	published := map[uint64]*lsh.Snapshot{1: idx.Current()}
+	for i := 10; i < 26; i++ {
+		idx.Insert(data[i])
+		if i%2 == 1 {
+			s := idx.Snapshot()
+			published[s.Version()] = s
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fsys, filepath.Join("db", walName(1)), published
+}
+
+// TestTornTailTruncated simulates a torn final record: recovery drops it,
+// serves the previous published version, and makes the truncation durable so
+// the store keeps working.
+func TestTornTailTruncated(t *testing.T) {
+	fsys, wpath, published := logSetup(t)
+	wdata, err := fsys.ReadFile(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRaw(t, fsys, wpath, wdata[:len(wdata)-3])
+
+	got, st, err := Open(fsys, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	v := got.Current().Version()
+	want, ok := published[v]
+	if !ok {
+		t.Fatalf("recovered unknown version %d", v)
+	}
+	snapshotsEqual(t, want, got.Current(), 55)
+
+	// The torn record was a publish marker (the log ends with one), so
+	// exactly one version is lost.
+	var max uint64
+	for pv := range published {
+		if pv > max {
+			max = pv
+		}
+	}
+	if v != max-1 {
+		t.Fatalf("recovered version %d, want %d", v, max-1)
+	}
+
+	// Appending after the truncation must yield a log that reopens cleanly.
+	got.Insert(testData(1, 9)[0])
+	next := got.Snapshot()
+	if st.Err() != nil {
+		t.Fatal(st.Err())
+	}
+	st.Close()
+	got2, st2, err := Open(fsys, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snapshotsEqual(t, next, got2.Current(), 56)
+}
+
+// TestMidFileCorruptionDetected flips a byte in an interior log record:
+// recovery must refuse (ErrCorrupt), not resurrect later records against the
+// wrong state.
+func TestMidFileCorruptionDetected(t *testing.T) {
+	fsys, wpath, _ := logSetup(t)
+	wdata, err := fsys.ReadFile(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), wdata...)
+	mut[walHeaderLen+12] ^= 0x01 // inside the first record's payload
+	writeRaw(t, fsys, wpath, mut)
+
+	if _, _, err := Open(fsys, "db"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSnapshotAndManifestCorruptionDetected flips bytes in the checkpoint
+// files: both must surface as ErrCorrupt.
+func TestSnapshotAndManifestCorruptionDetected(t *testing.T) {
+	for _, target := range []string{snapName(1), manifestName} {
+		t.Run(target, func(t *testing.T) {
+			fsys, _, _ := logSetup(t)
+			path := filepath.Join("db", target)
+			data, err := fsys.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mut := append([]byte(nil), data...)
+			mut[len(mut)/2] ^= 0x40
+			writeRaw(t, fsys, path, mut)
+			if _, _, err := Open(fsys, "db"); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestOpenErrors pins the typed-error contract of Open and Create.
+func TestOpenErrors(t *testing.T) {
+	fsys := faultfs.NewMem()
+	if _, _, err := Open(fsys, "nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing dir: err = %v, want ErrNotExist", err)
+	}
+	if err := fsys.MkdirAll("empty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(fsys, "empty"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("empty dir: err = %v, want ErrNotExist", err)
+	}
+	// Store files without a manifest: the manifest was lost, not absent.
+	if err := fsys.MkdirAll("half"); err != nil {
+		t.Fatal(err)
+	}
+	writeRaw(t, fsys, filepath.Join("half", snapName(1)), []byte("x"))
+	if _, _, err := Open(fsys, "half"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("manifest-less dir: err = %v, want ErrCorrupt", err)
+	}
+
+	data := testData(8, 3)
+	idx, err := lsh.Build(data, lsh.NewSimHash(1), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Create(fsys, "db", idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	idx2, _ := lsh.Build(data, lsh.NewSimHash(1), 4, 1)
+	if _, err := Create(fsys, "db", idx2); !errors.Is(err, ErrExists) {
+		t.Fatalf("create over store: err = %v, want ErrExists", err)
+	}
+}
+
+// TestStickyErrorRepairedByCheckpoint: after a log failure the store stops
+// logging (durable version frozen), and a successful checkpoint repairs it —
+// the snapshot supersedes the broken log.
+func TestStickyErrorRepairedByCheckpoint(t *testing.T) {
+	fsys := faultfs.NewMem()
+	data := testData(30, 51)
+	idx, err := lsh.Build(data[:10], lsh.NewSimHash(5), 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Create(fsys, "db", idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := st.DurableVersion()
+
+	fsys.SetPlan(faultfs.Plan{Op: 1, Mode: faultfs.ModeErr}) // next log write fails
+	idx.Insert(data[10])
+	idx.Snapshot()
+	if st.Err() == nil {
+		t.Fatal("expected sticky error after injected log failure")
+	}
+	if st.DurableVersion() != frozen {
+		t.Fatalf("durable moved to %d while broken", st.DurableVersion())
+	}
+	// Further writes are ignored, not half-logged.
+	for i := 11; i < 20; i++ {
+		idx.Insert(data[i])
+	}
+	idx.Snapshot()
+	if st.DurableVersion() != frozen {
+		t.Fatalf("durable moved to %d while broken", st.DurableVersion())
+	}
+
+	var want *lsh.Snapshot
+	idx.PublishAndThen(func(s *lsh.Snapshot) {
+		want = s
+		if err := st.Checkpoint(s); err != nil {
+			t.Errorf("repair checkpoint: %v", err)
+		}
+	})
+	if st.Err() != nil {
+		t.Fatalf("sticky error survived checkpoint: %v", st.Err())
+	}
+	if st.DurableVersion() != want.Version() {
+		t.Fatalf("durable = %d, want %d", st.DurableVersion(), want.Version())
+	}
+	st.Close()
+
+	got, st2, err := Open(fsys, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snapshotsEqual(t, want, got.Current(), 61)
+}
+
+// TestInlineCheckpointRotation: with a tiny threshold every publish
+// checkpoints inline, old generations are cleaned up, and the store stays
+// reopenable throughout.
+func TestInlineCheckpointRotation(t *testing.T) {
+	fsys := faultfs.NewMem()
+	data := testData(24, 71)
+	idx, err := lsh.Build(data[:10], lsh.NewSimHash(5), 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Create(fsys, "db", idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetCheckpointBytes(1)
+	var want *lsh.Snapshot
+	for i := 10; i < 24; i++ {
+		idx.Insert(data[i])
+		want = idx.Snapshot()
+		if st.Err() != nil {
+			t.Fatal(st.Err())
+		}
+		if st.DurableVersion() != want.Version() {
+			t.Fatalf("durable = %d, want %d", st.DurableVersion(), want.Version())
+		}
+	}
+	names, err := fsys.ReadDir("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := map[string]bool{
+		manifestName: true, snapName(want.Version()): true, walName(want.Version()): true,
+	}
+	for _, name := range names {
+		if !wantFiles[name] {
+			t.Fatalf("stale file %s after rotation (have %v)", name, names)
+		}
+	}
+	st.Close()
+	got, st2, err := Open(fsys, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snapshotsEqual(t, want, got.Current(), 81)
+}
+
+// TestGroupRoundtrip: a sharded store reopens as a group that routes and
+// samples identically, with the GROUP manifest carrying the shard version
+// vector.
+func TestGroupRoundtrip(t *testing.T) {
+	fsys := faultfs.NewMem()
+	data := testData(60, 91)
+	g, err := lsh.NewShardGroup(data[:40], lsh.NewSimHash(17), 6, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores, err := CreateGroup(fsys, "grp", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data[40:] {
+		g.Insert(v)
+	}
+	g.Capture() // publish every shard
+	want := make([]*lsh.Snapshot, g.S())
+	for s := 0; s < g.S(); s++ {
+		sh, st := g.Shard(s), stores[s]
+		sh.PublishAndThen(func(snap *lsh.Snapshot) {
+			want[s] = snap
+			if err := st.Checkpoint(snap); err != nil {
+				t.Errorf("shard %d checkpoint: %v", s, err)
+			}
+		})
+	}
+	meta := GroupMeta{
+		Family: mustSpec(t, g.Family()), K: g.K(), Ell: g.L(), Shards: g.S(),
+		Versions: groupVersions(stores),
+	}
+	if err := WriteGroupManifest(fsys, "grp", meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g2, stores2, meta2, err := OpenGroup(fsys, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.S() != g.S() || g2.K() != g.K() || g2.L() != g.L() || g2.Family() != g.Family() {
+		t.Fatalf("group shape mismatch")
+	}
+	for s := 0; s < g.S(); s++ {
+		snapshotsEqual(t, want[s], g2.Shard(s).Current(), 90+uint64(s))
+		if meta2.Versions[s] != want[s].Version() {
+			t.Fatalf("shard %d manifest version %d, want %d", s, meta2.Versions[s], want[s].Version())
+		}
+	}
+	// Routing must agree vector-for-vector, or reopened inserts would land
+	// on the wrong shard's store.
+	for _, v := range data {
+		if g.Route(v) != g2.Route(v) {
+			t.Fatal("routing diverged after reopen")
+		}
+	}
+	for _, st := range stores2 {
+		st.Close()
+	}
+
+	if _, _, _, err := OpenGroup(fsys, "nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing group: err = %v, want ErrNotExist", err)
+	}
+	if _, err := CreateGroup(fsys, "grp", g); !errors.Is(err, ErrExists) {
+		t.Fatalf("create over group: err = %v, want ErrExists", err)
+	}
+}
+
+// TestGroupEmptyShard: a shard the routing left empty must still roundtrip
+// (zero-vector snapshot encoding).
+func TestGroupEmptyShard(t *testing.T) {
+	fsys := faultfs.NewMem()
+	// A single vector can populate at most one of 4 shards.
+	g, err := lsh.NewShardGroup(testData(1, 13), lsh.NewSimHash(19), 4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores, err := CreateGroup(fsys, "grp", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stores {
+		st.Close()
+	}
+	g2, stores2, _, err := OpenGroup(fsys, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < g.S(); s++ {
+		snapshotsEqual(t, g.Shard(s).Current(), g2.Shard(s).Current(), 120+uint64(s))
+	}
+	for _, st := range stores2 {
+		st.Close()
+	}
+}
+
+func mustSpec(t *testing.T, f lsh.Family) lsh.FamilySpec {
+	t.Helper()
+	sp, err := lsh.SpecOf(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestStoreOnRealFS exercises the faultfs.OS backend end to end in a temp
+// directory: the same roundtrip contract must hold on a real filesystem.
+func TestStoreOnRealFS(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	data := testData(30, 101)
+	idx, err := lsh.Build(data[:20], lsh.NewSimHash(23), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Create(faultfs.OS{}, dir, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data[20:] {
+		idx.Insert(v)
+	}
+	var want *lsh.Snapshot
+	idx.PublishAndThen(func(s *lsh.Snapshot) {
+		want = s
+		if err := st.Checkpoint(s); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+	})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st2, err := Open(faultfs.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snapshotsEqual(t, want, got.Current(), 111)
+}

@@ -119,6 +119,29 @@ func NewShardGroup(data []vecmath.Vector, family Family, k, ell, s int) (*ShardG
 	return g, nil
 }
 
+// NewShardGroupFromIndexes assembles a group over already-constructed
+// per-shard indexes — the reopen path of the durability layer, which
+// restores each shard from its own store and needs them under one router.
+// Every index must hash with the given family, k and ℓ; the shard order
+// must match the routing that populated the stores.
+func NewShardGroupFromIndexes(family Family, k, ell int, shards []*Index) (*ShardGroup, error) {
+	if err := validateParams(family, k, ell); err != nil {
+		return nil, err
+	}
+	if len(shards) < 1 || len(shards) > MaxShards {
+		return nil, fmt.Errorf("lsh: shard count must be in [1, %d], got %d", MaxShards, len(shards))
+	}
+	for s, x := range shards {
+		if x == nil {
+			return nil, fmt.Errorf("lsh: shard %d is nil", s)
+		}
+		if x.Family() != family || x.K() != k || x.L() != ell {
+			return nil, fmt.Errorf("lsh: shard %d was hashed with different parameters", s)
+		}
+	}
+	return &ShardGroup{family: family, k: k, ell: ell, shards: shards}, nil
+}
+
 // emptyIndex constructs a zero-vector Index (version 1, empty tables) for
 // shards the initial routing left unpopulated.
 func emptyIndex(family Family, k, ell int) *Index {

@@ -1,0 +1,47 @@
+package lsh
+
+import "fmt"
+
+// FamilySpec is the serializable identity of a hash family: everything the
+// durability layer needs to persist so that a reopened index hashes — and
+// therefore buckets — exactly like the one that was saved. Families are
+// stateless given their seed, so (Name, Seed, Bits) reconstructs them
+// completely.
+type FamilySpec struct {
+	Name string
+	Seed uint64
+	Bits int
+}
+
+// SpecOf extracts the spec of one of the built-in families. Custom Family
+// implementations are not serializable and report an error.
+func SpecOf(f Family) (FamilySpec, error) {
+	switch fam := f.(type) {
+	case SimHash:
+		return FamilySpec{Name: fam.Name(), Seed: fam.seed, Bits: fam.Bits()}, nil
+	case MinHash:
+		return FamilySpec{Name: fam.Name(), Seed: fam.seed, Bits: fam.bits}, nil
+	}
+	if f == nil {
+		return FamilySpec{}, fmt.Errorf("lsh: nil family has no spec")
+	}
+	return FamilySpec{}, fmt.Errorf("lsh: family %s is not serializable", f.Name())
+}
+
+// FamilyFromSpec inverts SpecOf, validating the spec so corrupted on-disk
+// parameters cannot construct a family the hashing layer would choke on.
+func FamilyFromSpec(sp FamilySpec) (Family, error) {
+	switch sp.Name {
+	case "simhash":
+		if sp.Bits != 1 {
+			return nil, fmt.Errorf("lsh: simhash spec with bit width %d (want 1)", sp.Bits)
+		}
+		return NewSimHash(sp.Seed), nil
+	case "minhash":
+		if sp.Bits != 32 {
+			return nil, fmt.Errorf("lsh: minhash spec with bit width %d (want 32)", sp.Bits)
+		}
+		return NewMinHash(sp.Seed), nil
+	}
+	return nil, fmt.Errorf("lsh: unknown family %q", sp.Name)
+}

@@ -7,7 +7,9 @@ import (
 
 	"lshjoin/internal/core"
 	"lshjoin/internal/exactjoin"
+	"lshjoin/internal/faultfs"
 	"lshjoin/internal/lsh"
+	"lshjoin/internal/lsh/persist"
 	"lshjoin/internal/vecmath"
 	"lshjoin/internal/xrand"
 )
@@ -71,6 +73,14 @@ type Options struct {
 	// NewSharded and NewCrossJoin with Shards == 1 behave draw-for-draw
 	// identically to New and the static single-snapshot cross join.
 	Shards int
+	// Dir, when non-empty, makes the collection durable: New and NewSharded
+	// create a crash-safe store there (one sub-store per shard for a sharded
+	// collection) and every published version is persisted — checkpointed
+	// snapshots plus an fsynced delta log. Reopen with Open or OpenSharded;
+	// call Close to checkpoint on shutdown. See the durability section of
+	// the package documentation for the exact guarantees. NewCrossJoin does
+	// not support Dir yet and rejects it.
+	Dir string
 }
 
 func (o *Options) fillDefaults() {
@@ -96,7 +106,7 @@ func familyFor(opt Options) (lsh.Family, core.SimFunc, error) {
 	case JaccardSimilarity:
 		return lsh.NewMinHash(opt.Seed), vecmath.Jaccard, nil
 	default:
-		return nil, nil, fmt.Errorf("lshjoin: unknown measure %d", opt.Measure)
+		return nil, nil, fmt.Errorf("%w: unknown measure %d", ErrInvalidOptions, opt.Measure)
 	}
 }
 
@@ -116,6 +126,10 @@ type Collection struct {
 	sim    core.SimFunc
 	index  *lsh.Index
 
+	// Durable backing (nil for in-memory collections); closed flips once.
+	store  *persist.Store
+	closed atomic.Bool
+
 	seedCtr atomic.Uint64
 
 	// The exact joiner is rebuilt lazily whenever the index version moved.
@@ -125,9 +139,14 @@ type Collection struct {
 }
 
 // New indexes the vectors. The collection keeps a reference to the slice;
-// callers must not mutate it afterwards.
+// callers must not mutate it afterwards. With Options.Dir set, a durable
+// store is created there (ErrStoreExists if one already is) and every
+// published version persists across restarts; reopen with Open.
 func New(vectors []Vector, opt Options) (*Collection, error) {
-	opt.fillDefaults()
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
 	if len(vectors) < 2 {
 		return nil, fmt.Errorf("lshjoin: need at least 2 vectors, got %d", len(vectors))
 	}
@@ -139,12 +158,18 @@ func New(vectors []Vector, opt Options) (*Collection, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: %w", err)
 	}
-	return &Collection{
+	c := &Collection{
 		opt:    opt,
 		family: family,
 		sim:    sim,
 		index:  index,
-	}, nil
+	}
+	if opt.Dir != "" {
+		if c.store, err = persist.Create(faultfs.OS{}, opt.Dir, index); err != nil {
+			return nil, fmt.Errorf("lshjoin: %w", err)
+		}
+	}
+	return c, nil
 }
 
 // snap publishes any pending inserts and returns the latest immutable view.

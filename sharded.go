@@ -9,7 +9,9 @@ import (
 
 	"lshjoin/internal/core"
 	"lshjoin/internal/exactjoin"
+	"lshjoin/internal/faultfs"
 	"lshjoin/internal/lsh"
+	"lshjoin/internal/lsh/persist"
 	"lshjoin/internal/xrand"
 )
 
@@ -34,6 +36,11 @@ type ShardedCollection struct {
 	sim    core.SimFunc
 	group  *lsh.ShardGroup
 
+	// Durable backing (nil for in-memory collections), one store per shard;
+	// closed flips once.
+	stores []*persist.Store
+	closed atomic.Bool
+
 	seedCtr atomic.Uint64
 
 	// The exact joiner is rebuilt lazily whenever any shard's version moved;
@@ -46,9 +53,15 @@ type ShardedCollection struct {
 
 // NewSharded indexes the vectors across Options.Shards shards (default 1).
 // The collection keeps references to the vectors; callers must not mutate
-// them afterwards.
+// them afterwards. With Options.Dir set, a durable group store is created
+// there — one crash-safe sub-store per shard plus a group manifest — and
+// every published shard version persists across restarts; reopen with
+// OpenSharded.
 func NewSharded(vectors []Vector, opt Options) (*ShardedCollection, error) {
-	opt.fillDefaults()
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
 	if len(vectors) < 2 {
 		return nil, fmt.Errorf("lshjoin: need at least 2 vectors, got %d", len(vectors))
 	}
@@ -65,12 +78,18 @@ func NewSharded(vectors []Vector, opt Options) (*ShardedCollection, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: %w", err)
 	}
-	return &ShardedCollection{
+	c := &ShardedCollection{
 		opt:    opt,
 		family: family,
 		sim:    sim,
 		group:  group,
-	}, nil
+	}
+	if opt.Dir != "" {
+		if c.stores, err = persist.CreateGroup(faultfs.OS{}, opt.Dir, group); err != nil {
+			return nil, fmt.Errorf("lshjoin: %w", err)
+		}
+	}
+	return c, nil
 }
 
 // capture publishes pending inserts shard by shard and returns the

@@ -1,6 +1,7 @@
 package lshjoin
 
 import (
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -166,5 +167,161 @@ func TestPerInsertPublishSoak(t *testing.T) {
 	if fresh.PairsSharingBucket() != coll.PairsSharingBucket() {
 		t.Fatalf("N_H after soak %d, fresh build %d",
 			coll.PairsSharingBucket(), fresh.PairsSharingBucket())
+	}
+}
+
+// TestDurableCloseOpenSoak is the disk-backed variant of the soak above:
+// several concurrent phases — a writer streaming per-insert publishes while
+// estimator, search and monotonicity readers hammer the same collection —
+// separated by full Close/Open cycles against one on-disk store. Run under
+// -race (the CI race job does). Across every cycle boundary the recovered
+// collection must resume exactly where the closed one stopped: version and
+// N carry over (and only ever grow), hashing options come back from disk,
+// and estimates stay inside [0, C(n,2)] in every phase. The converged store
+// must answer exactly like a fresh in-memory build of the same vectors.
+func TestDurableCloseOpenSoak(t *testing.T) {
+	const base, perCycle, cycles = 300, 80, 4
+	vecs := fixtureVectors(t, base+perCycle*cycles)
+	dir := filepath.Join(t.TempDir(), "store")
+
+	coll, err := New(vecs[:base], Options{Dir: dir, K: 10, Seed: 7, PublishEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastVer uint64
+	lastN := base
+
+	for cyc := 0; cyc < cycles; cyc++ {
+		if cyc > 0 {
+			coll, err = Open(dir, Options{PublishEvery: 1})
+			if err != nil {
+				t.Fatalf("cycle %d: Open: %v", cyc, err)
+			}
+			if coll.Version() < lastVer || coll.N() != lastN {
+				t.Fatalf("cycle %d: reopened at version %d (last %d), N %d (last %d)",
+					cyc, coll.Version(), lastVer, coll.N(), lastN)
+			}
+			if coll.K() != 10 || coll.Tables() != 1 {
+				t.Fatalf("cycle %d: hash params not recovered: k=%d ell=%d", cyc, coll.K(), coll.Tables())
+			}
+		}
+		c := coll
+		chunk := vecs[base+cyc*perCycle : base+(cyc+1)*perCycle]
+
+		var writerWg, wg sync.WaitGroup
+		stop := make(chan struct{})
+		var estimates, searches atomic.Int64
+
+		writerWg.Add(1)
+		go func() {
+			defer writerWg.Done()
+			for _, v := range chunk {
+				c.Insert(v)
+			}
+		}()
+
+		reader := func(step func(i int) bool) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !step(i) {
+					return
+				}
+			}
+		}
+
+		wg.Add(1)
+		go reader(func(i int) bool {
+			est, err := c.Estimator(AlgoLSHSS,
+				WithEstimatorSeed(uint64(1000*cyc+i)),
+				WithSampleBudget(100, 100))
+			if err != nil {
+				t.Errorf("cycle %d estimator: %v", cyc, err)
+				return false
+			}
+			got, err := est.Estimate(0.8)
+			if err != nil {
+				t.Errorf("cycle %d estimate: %v", cyc, err)
+				return false
+			}
+			n := int64(c.N())
+			if got < 0 || got > float64(n*(n-1)/2) {
+				t.Errorf("cycle %d: estimate %v outside [0, C(%d,2)]", cyc, got, n)
+				return false
+			}
+			estimates.Add(1)
+			return true
+		})
+
+		var phaseVer uint64
+		var phaseN int
+		wg.Add(1)
+		go reader(func(i int) bool {
+			ver, n := c.Version(), c.N()
+			if ver < phaseVer || n < phaseN {
+				t.Errorf("cycle %d: regression ver %d→%d n %d→%d", cyc, phaseVer, ver, phaseN, n)
+				return false
+			}
+			phaseVer, phaseN = ver, n
+			ids := c.SearchSimilar(vecs[i%base], 0.5)
+			for _, id := range ids {
+				if id < 0 || id >= n+len(chunk) {
+					t.Errorf("cycle %d: search id %d out of range", cyc, id)
+					return false
+				}
+			}
+			searches.Add(1)
+			return true
+		})
+
+		writerWg.Wait()
+		deadline := time.Now().Add(10 * time.Second)
+		for estimates.Load() == 0 || searches.Load() == 0 {
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+		wg.Wait()
+		if estimates.Load() == 0 || searches.Load() == 0 {
+			t.Fatalf("cycle %d: a reader never completed: est=%d search=%d",
+				cyc, estimates.Load(), searches.Load())
+		}
+
+		lastVer, lastN = coll.Version(), coll.N()
+		if lastN != base+(cyc+1)*perCycle {
+			t.Fatalf("cycle %d: N = %d, want %d", cyc, lastN, base+(cyc+1)*perCycle)
+		}
+		if err := coll.Close(); err != nil {
+			t.Fatalf("cycle %d: Close: %v", cyc, err)
+		}
+	}
+
+	final, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if final.N() != base+cycles*perCycle || final.Version() < lastVer {
+		t.Fatalf("final store: N=%d version=%d (want N=%d, version ≥ %d)",
+			final.N(), final.Version(), base+cycles*perCycle, lastVer)
+	}
+	fresh, err := New(vecs, Options{K: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJoin, _ := fresh.ExactJoinSize(0.7)
+	gotJoin, _ := final.ExactJoinSize(0.7)
+	if wantJoin != gotJoin {
+		t.Fatalf("exact join after durable soak %d, fresh build %d", gotJoin, wantJoin)
+	}
+	if fresh.PairsSharingBucket() != final.PairsSharingBucket() {
+		t.Fatalf("N_H after durable soak %d, fresh build %d",
+			final.PairsSharingBucket(), fresh.PairsSharingBucket())
 	}
 }
