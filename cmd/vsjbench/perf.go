@@ -106,6 +106,26 @@ func runPerf(outPath string) (*perfReport, error) {
 			}
 		}
 	})
+	add("sign_fused_k20_l8", func(b *testing.B) {
+		// 8 fused tables: ℓ·k = 160 lanes per vocabulary row, all signed in
+		// one pass over a resident projection cache.
+		for i := 0; i < b.N; i++ {
+			_ = lsh.SignDigest(data, lsh.NewSimHash(uint64(i+1)), k, 8, lsh.SignConfig{PanelBytes: 256 << 20})
+		}
+	})
+	add("sign_panel_streamed", func(b *testing.B) {
+		// Same workload under a 4 MiB budget: the projection cache streams in
+		// dimension-block panels with identical output.
+		for i := 0; i < b.N; i++ {
+			_ = lsh.SignDigest(data, lsh.NewSimHash(uint64(i+1)), k, 8, lsh.SignConfig{PanelBytes: 4 << 20})
+		}
+	})
+	add("sign_float32_lane", func(b *testing.B) {
+		// Fused again in the float32 lane: half the cache bytes per row.
+		for i := 0; i < b.N; i++ {
+			_ = lsh.SignDigest(data, lsh.NewSimHash(uint64(i+1)), k, 8, lsh.SignConfig{Float32: true, PanelBytes: 256 << 20})
+		}
+	})
 	add("signature_simhash_k20_naive", func(b *testing.B) {
 		f := lsh.NewSimHash(7)
 		for i := 0; i < b.N; i++ {
@@ -410,6 +430,9 @@ func runPerf(outPath string) (*perfReport, error) {
 // the naive signing baseline) are recorded for trajectory only.
 var gatedBenchmarks = []string{
 	"build_k20_l1",
+	"sign_fused_k20_l8",
+	"sign_panel_streamed",
+	"sign_float32_lane",
 	"query_k8_l4",
 	"estimate_lshss_tau08",
 	"snapshot_publish_after_insert",

@@ -74,11 +74,11 @@ func NewCrossJoin(left, right []Vector, opt Options) (*CrossJoin, error) {
 	if err != nil {
 		return nil, err
 	}
-	lg, err := lsh.NewShardGroup(left, family, opt.K, 1, opt.Shards)
+	lg, err := lsh.NewShardGroupSigned(left, family, opt.K, 1, opt.Shards, opt.signConfig())
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: left index: %w", err)
 	}
-	rg, err := lsh.NewShardGroup(right, family, opt.K, 1, opt.Shards)
+	rg, err := lsh.NewShardGroupSigned(right, family, opt.K, 1, opt.Shards, opt.signConfig())
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: right index: %w", err)
 	}

@@ -120,7 +120,24 @@
 // order, byte-identical to a serial build at any GOMAXPROCS. Estimator
 // sampling (LSH-SS's SampleH and SampleL, and the multi-table median) fans
 // out across deterministic RNG-split shards, so estimates are bit-for-bit
-// reproducible for a given seed at any GOMAXPROCS. Run `vsjbench -perf` to
-// regenerate the BENCH_lsh.json hot-path timings tracked in the repository
-// root, including a mixed Estimate+Insert serving benchmark.
+// reproducible for a given seed at any GOMAXPROCS.
+//
+// The signing inner loops are vectorized on amd64: AVX2 multiply-add
+// kernels accumulate four projection rows per pass, and the keyed gaussian
+// row fill runs through a fused hash-prep + table-interpolation kernel pair
+// (internal/kernel). Every kernel has a portable Go reference used on other
+// architectures or under `-tags purego`, and equivalence tests pin the two
+// bit-for-bit, so signatures — and therefore buckets, snapshots, and
+// estimates — never depend on the build. Projections for all ℓ tables are
+// cached in one ℓ·k-wide dimension-major panel (one vocabulary pass per
+// corpus instead of ℓ), and builds stream that panel in column blocks
+// bounded by Options.SignPanelBytes, so signing memory stays flat however
+// large the vocabulary grows. Options.Float32Signing switches the
+// projection cache and accumulators to a float32 lane — half the memory
+// bandwidth on wide corpora, at the cost of signatures that differ from
+// (but are statistically equivalent to) the float64 lane's.
+//
+// Run `vsjbench -perf` to regenerate the BENCH_lsh.json hot-path timings
+// tracked in the repository root, including a mixed Estimate+Insert serving
+// benchmark and the fused / panel-streamed / float32 signing paths.
 package lshjoin

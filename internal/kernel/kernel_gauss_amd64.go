@@ -1,0 +1,53 @@
+//go:build amd64 && !purego
+
+package kernel
+
+// GaussPrepSize reports whether GaussPrep handles rows of width k.
+func GaussPrepSize(k int) bool { return useAVX2 && k > 0 && k%4 == 0 }
+
+// GaussPrep runs the integer half of a batched gaussian row fill: for row r
+// and lane f it computes h = Mix64(pres[f] ^ dims[r]*0xA0761D6478BD642F),
+// stores hv[r*k+f] = h>>11 and the exact half-unit form
+// mu = hv<<1 + 1 - b + (b&hv&1)<<1 (b = hv>>52) the table interpolation
+// consumes. Bit-identical to the scalar chain — the body is pure integer
+// arithmetic, four lanes wide (the 64-bit multiplies are decomposed into
+// 32x32 VPMULUDQ products, exact mod 2^64). k = len(pres) must satisfy
+// GaussPrepSize; hv and mu must hold len(dims)*k values.
+func GaussPrep(hv, mu []uint64, pres []uint64, dims []uint32) {
+	k := len(pres)
+	n := len(dims) * k
+	if n == 0 {
+		return
+	}
+	_ = hv[n-1]
+	_ = mu[n-1]
+	gaussPrepAVX2(&hv[0], &mu[0], &pres[0], &dims[0], len(dims), k)
+}
+
+func gaussPrepAVX2(hv, mu, pres *uint64, dims *uint32, rows, k int)
+
+// GaussInterp turns prepared mu values into table-interpolated gaussians:
+// out[i] = tab[s][0] + float64(mu[i]&(1<<42-1))*(0x1p-42)*tab[s][1] with
+// s = mu[i]>>42, evaluated with exactly the rounding sequence of the scalar
+// code (the integer-to-float conversion and the power-of-two scale are exact,
+// then one multiply and one add round). Lanes whose slot falls outside
+// [tailSlots, len(tab)-tailSlots) are tail lanes: their out value is garbage
+// (computed from a clamped slot) and the corresponding bit is set in tails —
+// one byte per 4 lanes, bit o for lane 4*g+o — so the caller can overwrite
+// them with the exact tail evaluation. len(mu) must be a multiple of 4,
+// len(tab) a power of two, len(out) >= len(mu), len(tails) >= len(mu)/4.
+func GaussInterp(out []float64, mu []uint64, tails []byte, tab [][2]float64, tailSlots int) {
+	n := len(mu)
+	if n == 0 {
+		return
+	}
+	slots := len(tab)
+	if n%4 != 0 || slots == 0 || slots&(slots-1) != 0 || tailSlots <= 0 || 2*tailSlots >= slots {
+		panic("kernel: bad GaussInterp shape")
+	}
+	_ = out[n-1]
+	_ = tails[n/4-1]
+	gaussInterpAVX2(&out[0], &mu[0], &tails[0], &tab[0][0], n, int64(tailSlots), int64(slots-tailSlots-1), int64(slots-1))
+}
+
+func gaussInterpAVX2(out *float64, mu *uint64, tails *byte, tab *float64, n int, lo, hi, clamp int64)

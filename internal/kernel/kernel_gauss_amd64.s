@@ -1,0 +1,265 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// func gaussPrepAVX2(hv, mu, pres *uint64, dims *uint32, rows, k int)
+//
+// Integer half of the batched gaussian fill: for every (row, lane) pair,
+// x = pres[lane] ^ dims[row]*0xA0761D6478BD642F is pushed through the
+// SplitMix64 finalizer, hv = mix>>11 is stored, and the exact half-unit slot
+// form mu = hv<<1 + 1 - (hv>>52) + ((hv>>52)&hv&1)<<1 is stored alongside.
+// Four lanes per iteration with two independent chains (eight lanes) while
+// they last. VEX encodings only: the 64-bit multiplies are decomposed into
+// 32x32 VPMULUDQ products (x*C = lo(x)*lo(C) + (lo(x)*hi(C)+hi(x)*lo(C))<<32,
+// exact mod 2^64) because EVEX VPMULLQ is microcoded on common parts and
+// measures slower than scalar code. k must be a positive multiple of 4, which
+// also means the flat output cursor never needs realigning between rows.
+//
+// Constants: Y11 = SplitMix64 increment, Y12/Y13 = multiplier 1 full/high,
+// Y14/Y15 = multiplier 2 full/high, Y9 = 1. Y10 = per-row dim premultiple.
+TEXT ·gaussPrepAVX2(SB), NOSPLIT, $0-48
+	MOVQ hv+0(FP), DI
+	MOVQ mu+8(FP), SI
+	MOVQ pres+16(FP), R11
+	MOVQ dims+24(FP), R10
+	MOVQ rows+32(FP), R12
+	MOVQ k+40(FP), R13
+
+	MOVQ $0x9E3779B97F4A7C15, AX // SplitMix64 increment
+	VMOVQ AX, X11
+	VPBROADCASTQ X11, Y11
+	MOVQ $0xBF58476D1CE4E5B9, AX // finalizer multiplier 1
+	VMOVQ AX, X12
+	VPBROADCASTQ X12, Y12
+	MOVQ $0xBF58476D, AX // multiplier 1 >> 32
+	VMOVQ AX, X13
+	VPBROADCASTQ X13, Y13
+	MOVQ $0x94D049BB133111EB, AX // finalizer multiplier 2
+	VMOVQ AX, X14
+	VPBROADCASTQ X14, Y14
+	MOVQ $0x94D049BB, AX // multiplier 2 >> 32
+	VMOVQ AX, X15
+	VPBROADCASTQ X15, Y15
+	MOVQ $1, AX
+	VMOVQ AX, X9
+	VPBROADCASTQ X9, Y9
+	MOVQ $0xA0761D6478BD642F, R14 // dimension pre-multiplier
+
+	TESTQ R12, R12
+	JE    gp_done
+
+gp_row:
+	MOVL (R10), AX
+	ADDQ $4, R10
+	IMULQ R14, AX
+	VMOVQ AX, X10
+	VPBROADCASTQ X10, Y10
+	XORQ BX, BX
+	MOVQ R13, CX
+	ANDQ $-8, CX
+	CMPQ BX, CX
+	JGE  gp_lane4
+
+gp_lane8:
+	VMOVDQU  (R11)(BX*8), Y0
+	VMOVDQU  32(R11)(BX*8), Y4
+	VPXOR    Y10, Y0, Y0
+	VPXOR    Y10, Y4, Y4
+	VPADDQ   Y11, Y0, Y0
+	VPADDQ   Y11, Y4, Y4
+	VPSRLQ   $30, Y0, Y1
+	VPSRLQ   $30, Y4, Y5
+	VPXOR    Y1, Y0, Y0
+	VPXOR    Y5, Y4, Y4
+
+	// x *= multiplier 1 (32x32 decomposition)
+	VPSRLQ   $32, Y0, Y1
+	VPSRLQ   $32, Y4, Y5
+	VPMULUDQ Y12, Y1, Y1
+	VPMULUDQ Y12, Y5, Y5
+	VPMULUDQ Y13, Y0, Y2
+	VPMULUDQ Y13, Y4, Y6
+	VPADDQ   Y2, Y1, Y1
+	VPADDQ   Y6, Y5, Y5
+	VPSLLQ   $32, Y1, Y1
+	VPSLLQ   $32, Y5, Y5
+	VPMULUDQ Y12, Y0, Y0
+	VPMULUDQ Y12, Y4, Y4
+	VPADDQ   Y1, Y0, Y0
+	VPADDQ   Y5, Y4, Y4
+
+	VPSRLQ   $27, Y0, Y1
+	VPSRLQ   $27, Y4, Y5
+	VPXOR    Y1, Y0, Y0
+	VPXOR    Y5, Y4, Y4
+
+	// x *= multiplier 2
+	VPSRLQ   $32, Y0, Y1
+	VPSRLQ   $32, Y4, Y5
+	VPMULUDQ Y14, Y1, Y1
+	VPMULUDQ Y14, Y5, Y5
+	VPMULUDQ Y15, Y0, Y2
+	VPMULUDQ Y15, Y4, Y6
+	VPADDQ   Y2, Y1, Y1
+	VPADDQ   Y6, Y5, Y5
+	VPSLLQ   $32, Y1, Y1
+	VPSLLQ   $32, Y5, Y5
+	VPMULUDQ Y14, Y0, Y0
+	VPMULUDQ Y14, Y4, Y4
+	VPADDQ   Y1, Y0, Y0
+	VPADDQ   Y5, Y4, Y4
+
+	VPSRLQ   $31, Y0, Y1
+	VPSRLQ   $31, Y4, Y5
+	VPXOR    Y1, Y0, Y0
+	VPXOR    Y5, Y4, Y4
+	VPSRLQ   $11, Y0, Y0
+	VPSRLQ   $11, Y4, Y4
+	VMOVDQU  Y0, (DI)
+	VMOVDQU  Y4, 32(DI)
+
+	// mu = hv<<1 + 1 - b + (b&hv&1)<<1, b = hv>>52
+	VPSRLQ   $52, Y0, Y1
+	VPSRLQ   $52, Y4, Y5
+	VPSLLQ   $1, Y0, Y2
+	VPSLLQ   $1, Y4, Y6
+	VPADDQ   Y9, Y2, Y2
+	VPADDQ   Y9, Y6, Y6
+	VPSUBQ   Y1, Y2, Y2
+	VPSUBQ   Y5, Y6, Y6
+	VPAND    Y0, Y1, Y3
+	VPAND    Y4, Y5, Y7
+	VPAND    Y9, Y3, Y3
+	VPAND    Y9, Y7, Y7
+	VPSLLQ   $1, Y3, Y3
+	VPSLLQ   $1, Y7, Y7
+	VPADDQ   Y3, Y2, Y2
+	VPADDQ   Y7, Y6, Y6
+	VMOVDQU  Y2, (SI)
+	VMOVDQU  Y6, 32(SI)
+	ADDQ     $64, DI
+	ADDQ     $64, SI
+	ADDQ     $8, BX
+	CMPQ     BX, CX
+	JLT      gp_lane8
+
+gp_lane4:
+	CMPQ BX, R13
+	JGE  gp_row_done
+	VMOVDQU  (R11)(BX*8), Y0
+	VPXOR    Y10, Y0, Y0
+	VPADDQ   Y11, Y0, Y0
+	VPSRLQ   $30, Y0, Y1
+	VPXOR    Y1, Y0, Y0
+	VPSRLQ   $32, Y0, Y1
+	VPMULUDQ Y12, Y1, Y1
+	VPMULUDQ Y13, Y0, Y2
+	VPADDQ   Y2, Y1, Y1
+	VPSLLQ   $32, Y1, Y1
+	VPMULUDQ Y12, Y0, Y0
+	VPADDQ   Y1, Y0, Y0
+	VPSRLQ   $27, Y0, Y1
+	VPXOR    Y1, Y0, Y0
+	VPSRLQ   $32, Y0, Y1
+	VPMULUDQ Y14, Y1, Y1
+	VPMULUDQ Y15, Y0, Y2
+	VPADDQ   Y2, Y1, Y1
+	VPSLLQ   $32, Y1, Y1
+	VPMULUDQ Y14, Y0, Y0
+	VPADDQ   Y1, Y0, Y0
+	VPSRLQ   $31, Y0, Y1
+	VPXOR    Y1, Y0, Y0
+	VPSRLQ   $11, Y0, Y0
+	VMOVDQU  Y0, (DI)
+	VPSRLQ   $52, Y0, Y1
+	VPSLLQ   $1, Y0, Y2
+	VPADDQ   Y9, Y2, Y2
+	VPSUBQ   Y1, Y2, Y2
+	VPAND    Y0, Y1, Y3
+	VPAND    Y9, Y3, Y3
+	VPSLLQ   $1, Y3, Y3
+	VPADDQ   Y3, Y2, Y2
+	VMOVDQU  Y2, (SI)
+	ADDQ     $32, DI
+	ADDQ     $32, SI
+	ADDQ     $4, BX
+	JMP      gp_lane4
+
+gp_row_done:
+	DECQ R12
+	JNZ  gp_row
+
+gp_done:
+	VZEROUPPER
+	RET
+
+// func gaussInterpAVX2(out *float64, mu *uint64, tails *byte, tab *float64, n int, lo, hi, clamp int64)
+//
+// Table-interpolation half of the batched gaussian fill, four lanes wide.
+// Per lane: slot = mu>>42; if slot < lo or slot > hi the lane is a tail —
+// its bit is recorded in the per-group tails byte and its output (computed
+// from a slot clamped into the table) is garbage the caller overwrites.
+// Central lanes get out = tab[slot][0] + float64(mu&(1<<42-1))*2^-42*
+// tab[slot][1], with the u64->f64 conversion done by the exact
+// or-magic/subtract trick (frac < 2^52) and the same two roundings as the
+// scalar code. The two table columns are fetched with VGATHERQPD at indices
+// slot*2 and slot*2+1. n must be a multiple of 4.
+//
+// Constants: Y15 = frac mask, Y14 = 2^52 magic (int and double views
+// coincide), Y13 = 2^-42, Y12 = lo, Y11 = hi, Y10 = clamp.
+TEXT ·gaussInterpAVX2(SB), NOSPLIT, $0-64
+	MOVQ out+0(FP), DI
+	MOVQ mu+8(FP), SI
+	MOVQ tails+16(FP), R9
+	MOVQ tab+24(FP), DX
+	MOVQ n+32(FP), CX
+
+	MOVQ $0x000003FFFFFFFFFF, AX // 1<<42 - 1
+	VMOVQ AX, X15
+	VPBROADCASTQ X15, Y15
+	MOVQ $0x4330000000000000, AX // 2^52
+	VMOVQ AX, X14
+	VPBROADCASTQ X14, Y14
+	MOVQ $0x3D50000000000000, AX // 0x1p-42
+	VMOVQ AX, X13
+	VPBROADCASTQ X13, Y13
+	MOVQ lo+40(FP), AX
+	VMOVQ AX, X12
+	VPBROADCASTQ X12, Y12
+	MOVQ hi+48(FP), AX
+	VMOVQ AX, X11
+	VPBROADCASTQ X11, Y11
+	MOVQ clamp+56(FP), AX
+	VMOVQ AX, X10
+	VPBROADCASTQ X10, Y10
+
+	XORQ BX, BX
+
+gi_loop:
+	VMOVDQU  (SI)(BX*8), Y0   // mu
+	VPSRLQ   $42, Y0, Y1      // slot
+	VPCMPGTQ Y1, Y12, Y2      // lo > slot
+	VPCMPGTQ Y11, Y1, Y3      // slot > hi
+	VPOR     Y3, Y2, Y2       // tail lanes
+	VMOVMSKPD Y2, AX
+	MOVB     AX, (R9)
+	INCQ     R9
+	VPAND    Y10, Y1, Y1      // clamp slot for safe gathers
+	VPSLLQ   $1, Y1, Y4       // pair index = slot*2
+	VPCMPEQQ Y7, Y7, Y7
+	VGATHERQPD Y7, (DX)(Y4*8), Y5   // tab[slot][0]
+	VPCMPEQQ Y7, Y7, Y7
+	VGATHERQPD Y7, 8(DX)(Y4*8), Y6  // tab[slot][1]
+	VPAND    Y15, Y0, Y8      // frac bits
+	VPOR     Y14, Y8, Y8
+	VSUBPD   Y14, Y8, Y8      // float64(frac), exact
+	VMULPD   Y13, Y8, Y8      // * 2^-42, exact
+	VMULPD   Y6, Y8, Y8       // * tab[slot][1]
+	VADDPD   Y5, Y8, Y8       // + tab[slot][0]
+	VMOVUPD  Y8, (DI)(BX*8)
+	ADDQ     $4, BX
+	CMPQ     BX, CX
+	JLT      gi_loop
+
+	VZEROUPPER
+	RET

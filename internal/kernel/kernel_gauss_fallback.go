@@ -1,0 +1,18 @@
+//go:build purego || !amd64
+
+package kernel
+
+// GaussPrepSize reports whether GaussPrep handles rows of width k. Without
+// the vector body there is no reason to split the fill into two passes, so
+// this build always answers no and callers keep their fused scalar loop.
+func GaussPrepSize(k int) bool { return false }
+
+// GaussPrep is unreachable when GaussPrepSize is constant-false.
+func GaussPrep(hv, mu []uint64, pres []uint64, dims []uint32) {
+	panic("kernel: no asm")
+}
+
+// GaussInterp is unreachable when GaussPrepSize is constant-false.
+func GaussInterp(out []float64, mu []uint64, tails []byte, tab [][2]float64, tailSlots int) {
+	panic("kernel: no asm")
+}

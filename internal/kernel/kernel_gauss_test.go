@@ -1,0 +1,135 @@
+package kernel
+
+import "testing"
+
+// mix64ref is the SplitMix64 finalizer the gauss prep kernel must reproduce
+// bit for bit (xrand.Mix64, restated here to keep the package dependency-free).
+func mix64ref(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func prepInputs(k, rows int) (pres []uint64, dims []uint32) {
+	pres = make([]uint64, k)
+	for i := range pres {
+		pres[i] = uint64(i)*0x9E3779B97F4A7C15 + 0xABCD
+	}
+	dims = make([]uint32, rows)
+	for i := range dims {
+		dims[i] = uint32(i*7919 + 13)
+	}
+	return pres, dims
+}
+
+// The vector prep kernel must agree with the scalar hash chain on every
+// (row, lane) pair, across both the 8-wide and 4-wide code paths.
+func TestGaussPrepBitExact(t *testing.T) {
+	for _, k := range []int{4, 8, 12, 20, 32} {
+		if !GaussPrepSize(k) {
+			t.Skipf("no gauss prep kernel in %s build", Impl)
+		}
+		for _, rows := range []int{1, 3, 17} {
+			pres, dims := prepInputs(k, rows)
+			hv := make([]uint64, rows*k)
+			mu := make([]uint64, rows*k)
+			GaussPrep(hv, mu, pres, dims)
+			for r, d := range dims {
+				m := uint64(d) * 0xA0761D6478BD642F
+				for f := 0; f < k; f++ {
+					h := mix64ref(pres[f]^m) >> 11
+					b := h >> 52
+					wantMu := h<<1 + 1 - b + (b&h&1)<<1
+					if hv[r*k+f] != h || mu[r*k+f] != wantMu {
+						t.Fatalf("k=%d rows=%d r=%d f=%d: hv=%#x want %#x, mu=%#x want %#x",
+							k, rows, r, f, hv[r*k+f], h, mu[r*k+f], wantMu)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The vector interpolation kernel must reproduce the scalar table lookup —
+// same two roundings per central lane — and flag exactly the tail lanes.
+func TestGaussInterpBitExact(t *testing.T) {
+	if !GaussPrepSize(4) {
+		t.Skipf("no gauss interp kernel in %s build", Impl)
+	}
+	const slots = 256 // smaller table than production so tails are frequent
+	const tailSlots = 16
+	tab := make([][2]float64, slots)
+	rng := newTestRNG(7)
+	for s := range tab {
+		tab[s][0] = rng.Norm()
+		tab[s][1] = rng.Norm() * 0.25
+	}
+	for _, n := range []int{4, 8, 20, 1024} {
+		mu := make([]uint64, n)
+		for i := range mu {
+			// Random 53-bit hv through the same mu construction as the prep
+			// kernel, scaled so slots land across the whole (small) table.
+			h := rng.Uint64() >> 11
+			b := h >> 52
+			m := h<<1 + 1 - b + (b&h&1)<<1
+			// Production mu spans 4096 slots at mu>>42; remap into [0, slots).
+			mu[i] = m % (uint64(slots) << 42)
+		}
+		out := make([]float64, n)
+		tails := make([]byte, n/4)
+		GaussInterp(out, mu, tails, tab, tailSlots)
+		const fracMask = 1<<42 - 1
+		for i, m := range mu {
+			slot := int(m >> 42)
+			isTail := slot < tailSlots || slot >= slots-tailSlots
+			gotTail := tails[i/4]&(1<<(i%4)) != 0
+			if gotTail != isTail {
+				t.Fatalf("n=%d lane %d slot %d: tail flag %v, want %v", n, i, slot, gotTail, isTail)
+			}
+			if isTail {
+				continue // output is garbage by contract
+			}
+			e := &tab[slot]
+			want := e[0] + float64(m&fracMask)*(0x1p-42)*e[1]
+			if out[i] != want {
+				t.Fatalf("n=%d lane %d slot %d: out %x, want %x", n, i, slot, out[i], want)
+			}
+		}
+	}
+}
+
+func BenchmarkGaussPrep(b *testing.B) {
+	const k, rows = 20, 2000
+	if !GaussPrepSize(k) {
+		b.Skipf("no gauss prep kernel in %s build", Impl)
+	}
+	pres, dims := prepInputs(k, rows)
+	hv := make([]uint64, rows*k)
+	mu := make([]uint64, rows*k)
+	b.SetBytes(int64(rows * k * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GaussPrep(hv, mu, pres, dims)
+	}
+}
+
+func BenchmarkGaussPrepScalarRef(b *testing.B) {
+	const k, rows = 20, 2000
+	pres, dims := prepInputs(k, rows)
+	hv := make([]uint64, rows*k)
+	mu := make([]uint64, rows*k)
+	b.SetBytes(int64(rows * k * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r, d := range dims {
+			m := uint64(d) * 0xA0761D6478BD642F
+			for f := 0; f < k; f++ {
+				h := mix64ref(pres[f]^m) >> 11
+				bb := h >> 52
+				hv[r*k+f] = h
+				mu[r*k+f] = h<<1 + 1 - bb + (bb&h&1)<<1
+			}
+		}
+	}
+}

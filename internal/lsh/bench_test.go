@@ -135,3 +135,24 @@ func BenchmarkQuery(b *testing.B) {
 		_ = idx.Query(data[i%len(data)])
 	}
 }
+
+// BenchmarkVocabularyLUT measures the dimension→row assignment pass in its
+// dense regime: max dimension small enough (≤ 8·NNZ) that the epoch-stamped
+// direct lookup table is used.
+func BenchmarkVocabularyLUT(b *testing.B) {
+	data := benchData(5000, 56000, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vocabulary(data).release()
+	}
+}
+
+// BenchmarkVocabularyMap measures the same pass in the sparse regime: a huge
+// dimension space forces the pre-sized map path.
+func BenchmarkVocabularyMap(b *testing.B) {
+	data := benchData(5000, 50_000_000, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vocabulary(data).release()
+	}
+}

@@ -128,6 +128,33 @@ func scatter(n, workers int, shardOf func(i int) uint8) (idxs []int32, starts []
 	return idxs, starts
 }
 
+// fillBucketIDs carves one shared int32 arena into per-bucket id slices. vb
+// maps each vector id to its bucket index; walking vb in id order reproduces
+// the ascending ids a serial append walk yields. Each bucket's slice is
+// capacity-clamped to its arena range, so a later dynamic append migrates
+// that bucket onto its own backing instead of clobbering a neighbour.
+func fillBucketIDs(order []*bucket, vb []int32) {
+	counts := getI32(len(order))
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, bi := range vb {
+		counts[bi]++
+	}
+	arena := make([]int32, len(vb))
+	pos := int32(0)
+	for bi, b := range order {
+		c := counts[bi]
+		b.ids = arena[pos : pos : pos+c]
+		pos += c
+	}
+	for i, bi := range vb {
+		b := order[bi]
+		b.ids = append(b.ids, int32(i))
+	}
+	putI32(counts)
+}
+
 // mergeShardBuckets flattens per-shard bucket lists into the global bucket
 // order (ascending first member id — the serial first-appearance order) and
 // returns, per shard, the global index of each of its buckets.
@@ -186,23 +213,33 @@ func buildTable64(keys []uint64, k, fnBase, bits, workers int) *Table {
 		base64: make([]map[uint64]int32, tableShards),
 	}
 	if workers <= 1 {
-		var order []*bucket
+		// Serial walk with arena allocation: bucket structs come from one
+		// backing slice whose capacity (#keys) bounds the distinct-key count,
+		// so append never reallocates and the *bucket pointers stay valid.
+		// Ids are carved from one shared arena afterwards — two allocations
+		// where the naive walk paid two per distinct key.
+		bks := make([]bucket, 0, len(keys))
+		order := make([]*bucket, 0, len(keys))
+		vb := getI32(len(keys))
+		sizeHint := len(keys)/tableShards + 16
 		for i, key := range keys {
 			s := shard64(key)
 			m := t.base64[s]
 			if m == nil {
-				m = make(map[uint64]int32)
+				m = make(map[uint64]int32, sizeHint)
 				t.base64[s] = m
 			}
 			bi, ok := m[key]
 			if !ok {
 				bi = int32(len(order))
 				m[key] = bi
-				order = append(order, &bucket{key64: key})
+				bks = append(bks, bucket{key64: key})
+				order = append(order, &bks[len(bks)-1])
 			}
-			b := order[bi]
-			b.ids = append(b.ids, int32(i))
+			vb[i] = bi
 		}
+		fillBucketIDs(order, vb[:len(keys)])
+		putI32(vb)
 		t.freezeOrder(order)
 		return t
 	}
@@ -254,23 +291,29 @@ func buildTableStr(keys []string, k, fnBase, bits, workers int) *Table {
 		baseStr: make([]map[string]int32, tableShards),
 	}
 	if workers <= 1 {
-		var order []*bucket
+		// Same arena scheme as buildTable64's serial walk.
+		bks := make([]bucket, 0, len(keys))
+		order := make([]*bucket, 0, len(keys))
+		vb := getI32(len(keys))
+		sizeHint := len(keys)/tableShards + 16
 		for i, key := range keys {
 			s := shardStr(key)
 			m := t.baseStr[s]
 			if m == nil {
-				m = make(map[string]int32)
+				m = make(map[string]int32, sizeHint)
 				t.baseStr[s] = m
 			}
 			bi, ok := m[key]
 			if !ok {
 				bi = int32(len(order))
 				m[key] = bi
-				order = append(order, &bucket{keyStr: key})
+				bks = append(bks, bucket{keyStr: key})
+				order = append(order, &bks[len(bks)-1])
 			}
-			b := order[bi]
-			b.ids = append(b.ids, int32(i))
+			vb[i] = bi
 		}
+		fillBucketIDs(order, vb[:len(keys)])
+		putI32(vb)
 		t.freezeOrder(order)
 		return t
 	}

@@ -135,7 +135,7 @@ func TestBuildThroughIndexMatchesForcedWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sigs := newEngine(fam, 16, 2).sign(data)
+	sigs := newEngine(fam, 16, 2, SignConfig{}).sign(data)
 	for ti := 0; ti < 2; ti++ {
 		serial := buildTable64(sigs.u64[ti], 16, ti*16, 1, 1)
 		tablesEqual(t, serial, snap.Table(ti))

@@ -4,31 +4,100 @@ import (
 	"runtime"
 	"sync"
 
+	"lshjoin/internal/kernel"
 	"lshjoin/internal/vecmath"
 	"lshjoin/internal/xrand"
 )
+
+// SignConfig tunes how the batch engine signs a corpus. The zero value is
+// the default build: float64 projections, fused single-pass cache with a
+// 64 MiB panel budget — and produces signatures byte-identical to the naive
+// Family.Hash path.
+type SignConfig struct {
+	// Float32 switches SimHash projection caching and accumulation to the
+	// float32 lane: half the cache footprint and bandwidth, at the cost of
+	// occasional sign flips on near-orthogonal vectors (and therefore
+	// different — not worse, just different — signatures than the float64
+	// lane). MinHash and generic families ignore it (integer pipelines).
+	Float32 bool
+
+	// PanelBytes caps the resident projection cache. When the fused cache
+	// (|vocab| · ℓ·k · lane bytes) would exceed it, the engine signs in
+	// dimension-block panels instead of one resident cache: vocabulary rows
+	// are sorted by dimension and vectors keep a cursor, so accumulation
+	// order — and output — is identical to the fused pass. 0 means the
+	// 64 MiB default; negative is rejected by the public options layer.
+	PanelBytes int
+}
+
+const defaultPanelBytes = 64 << 20
+
+// panelRows returns how many vocabulary rows fit the panel budget at the
+// given lane width.
+func (e *engine) panelRows(elemBytes int) int {
+	pb := e.cfg.PanelBytes
+	if pb <= 0 {
+		pb = defaultPanelBytes
+	}
+	pr := pb / (e.lk * elemBytes)
+	if pr < 1 {
+		pr = 1
+	}
+	return pr
+}
 
 // engine computes bucket keys for whole batches of vectors at once. The
 // naive path — Family.Hash per (vector, function) — recomputes every keyed
 // gaussian / keyed hash once per vector that touches a dimension, an
 // O(n·ℓ·k·nnz) bill dominated by the keyed-stream evaluations. The engine
-// flips the loop to dimension-major order: for each table it materializes
-// the ℓ·k keyed-stream rows of every distinct dimension in the batch exactly
-// once (O(|vocab|·ℓ·k) stream evaluations), then signs vectors by streaming
-// their entries against the cached rows with plain multiply-adds or min
-// scans. Corpora that reuse dimensions (any Zipfian vocabulary) pay the
-// expensive keyed streams only once per dimension.
+// flips the loop to dimension-major order and fuses all ℓ tables: one
+// vocabulary pass assigns each distinct dimension a dense row, one fill pass
+// materializes the fused ℓ·k-wide keyed-stream row of every dimension
+// exactly once (xrand.FillGaussRow / FillHashRow, batched and inlined), and
+// one signing pass folds each vector's entries into all ℓ·k accumulators via
+// the unrolled kernels in internal/kernel. Corpora that reuse dimensions
+// (any Zipfian vocabulary) pay the expensive keyed streams only once per
+// dimension, and the fused layout touches the corpus once instead of ℓ
+// times.
 //
-// The engine is an internal optimization, not a semantic change: for every
-// family it produces keys byte-identical to the Family.Hash + packKey path
+// When the fused cache would exceed SignConfig.PanelBytes the engine streams
+// dimension-block panels instead: vocabulary rows are renumbered in
+// ascending dimension order (so each vector's row indices are monotone) and
+// a per-vector cursor consumes entries panel by panel, preserving the exact
+// per-lane accumulation order of the fused pass.
+//
+// The engine is an internal optimization, not a semantic change: in the
+// default float64 lane it produces keys byte-identical to the Family.Hash +
+// packKey path for every family and for both the fused and panel schedules
 // (engine_test.go enforces this), because cached rows come from the same
-// keyed streams and per-vector accumulation visits entries in the same
-// order as the naive hash.
+// keyed streams and per-lane accumulation visits entries in the same order
+// as the naive hash. The opt-in float32 lane is the one documented
+// exception: it rounds projections to float32 and so defines its own —
+// internally consistent — signature function.
 type engine struct {
 	fam    Family
 	k, ell int
+	lk     int // ell * k, the fused row width
 	bits   int
 	narrow bool
+	cfg    SignConfig
+
+	// Kernels are selected once at construction (build tags pick the
+	// unrolled or purego bodies); the engine only ever calls through these.
+	f64MulAdd     func(dst, row []float64, w float64)
+	f64MulAdd2    func(dst, r1, r2 []float64, w1, w2 float64)
+	f64MulAdd4    func(dst, r1, r2, r3, r4 []float64, w1, w2, w3, w4 float64)
+	f64MulAddSet  func(dst, row []float64, w float64)
+	f64MulAdd2Set func(dst, r1, r2 []float64, w1, w2 float64)
+	f64MulAdd4Set func(dst, r1, r2, r3, r4 []float64, w1, w2, w3, w4 float64)
+	f32MulAdd     func(dst, row []float32, w float32)
+	f32MulAdd2    func(dst, r1, r2 []float32, w1, w2 float32)
+	f32MulAdd4    func(dst, r1, r2, r3, r4 []float32, w1, w2, w3, w4 float32)
+	f32MulAddSet  func(dst, row []float32, w float32)
+	f32MulAdd2Set func(dst, r1, r2 []float32, w1, w2 float32)
+	f32MulAdd4Set func(dst, r1, r2, r3, r4 []float32, w1, w2, w3, w4 float32)
+	u64Min        func(dst, row []uint64)
+	u64Min2       func(dst, r1, r2 []uint64)
 }
 
 // signatures holds per-table bucket keys for a batch of vectors: u64 in
@@ -39,11 +108,34 @@ type signatures struct {
 	str    [][]string
 }
 
-func newEngine(fam Family, k, ell int) *engine {
-	return &engine{fam: fam, k: k, ell: ell, bits: fam.Bits(), narrow: isNarrow(k, fam.Bits())}
+func newEngine(fam Family, k, ell int, cfg SignConfig) *engine {
+	return &engine{
+		fam:           fam,
+		k:             k,
+		ell:           ell,
+		lk:            ell * k,
+		bits:          fam.Bits(),
+		narrow:        isNarrow(k, fam.Bits()),
+		cfg:           cfg,
+		f64MulAdd:     kernel.F64MulAdd,
+		f64MulAdd2:    kernel.F64MulAdd2,
+		f64MulAdd4:    kernel.F64MulAdd4,
+		f64MulAddSet:  kernel.F64MulAddSet,
+		f64MulAdd2Set: kernel.F64MulAdd2Set,
+		f64MulAdd4Set: kernel.F64MulAdd4Set,
+		f32MulAdd:     kernel.F32MulAdd,
+		f32MulAdd2:    kernel.F32MulAdd2,
+		f32MulAdd4:    kernel.F32MulAdd4,
+		f32MulAddSet:  kernel.F32MulAddSet,
+		f32MulAdd2Set: kernel.F32MulAdd2Set,
+		f32MulAdd4Set: kernel.F32MulAdd4Set,
+		u64Min:        kernel.U64Min,
+		u64Min2:       kernel.U64Min2,
+	}
 }
 
-// newSignatures allocates the per-table key slices for n vectors.
+// newSignatures allocates the per-table key slices for n vectors. These are
+// never pooled: tables retain them as their key columns.
 func (e *engine) newSignatures(n int) *signatures {
 	s := &signatures{narrow: e.narrow}
 	if e.narrow {
@@ -88,19 +180,54 @@ func (e *engine) sign(data []vecmath.Vector) *signatures {
 	return sigs
 }
 
+// SignDigest signs data with the batch engine and folds every produced key
+// into a 64-bit FNV-style checksum. It exists for benchmarks and profiling:
+// it exercises exactly the signing path Build uses — vocabulary, fill,
+// accumulate, pack — without paying for table construction.
+func SignDigest(data []vecmath.Vector, family Family, k, ell int, cfg SignConfig) uint64 {
+	sigs := newEngine(family, k, ell, cfg).sign(data)
+	h := uint64(14695981039346656037)
+	if sigs.narrow {
+		for _, col := range sigs.u64 {
+			for _, w := range col {
+				h = (h ^ w) * 1099511628211
+			}
+		}
+		return h
+	}
+	for _, col := range sigs.str {
+		for _, s := range col {
+			for i := 0; i < len(s); i++ {
+				h = (h ^ uint64(s[i])) * 1099511628211
+			}
+		}
+	}
+	return h
+}
+
 // vocab is the batch vocabulary: every distinct dimension gets a dense row
-// index (first-appearance order — nothing downstream depends on it), and
-// each vector's entries are pre-translated to row indices so the signing
-// loops never touch a dimension lookup.
+// index (first-appearance order in the fused schedule; ascending-dimension
+// order after sortByDim), and each vector's entries are pre-translated to
+// row indices so the signing loops never touch a dimension lookup.
 type vocab struct {
 	dims   []uint32  // row -> dimension
 	rowIdx [][]int32 // per vector: row index of each entry, aligned with Entries()
+
+	backing []int32 // pooled storage behind rowIdx, returned by release
+}
+
+// release returns the vocabulary's pooled buffers. The vocab (and every
+// rowIdx slice) must not be used afterwards.
+func (v *vocab) release() {
+	putU32(v.dims)
+	putI32(v.backing)
 }
 
 // vocabulary builds the batch vocabulary in one pass. When the dimension
 // space is small relative to the batch it uses a flat lookup table instead
 // of a map (DBLP-shaped corpora live here; the cutoff bounds LUT memory by a
-// small multiple of the batch itself).
+// small multiple of the batch itself). The map path is pre-sized from the
+// batch NNZ so growth never rehashes.
 func vocabulary(data []vecmath.Vector) *vocab {
 	var maxDim uint32
 	total := 0
@@ -110,23 +237,29 @@ func vocabulary(data []vecmath.Vector) *vocab {
 		}
 		total += v.NNZ()
 	}
+	// Distinct dimensions never exceed total entries, so a total-capacity
+	// dims buffer (pooled, like the rowIdx backing) can't reallocate.
 	voc := &vocab{rowIdx: make([][]int32, len(data))}
-	backing := make([]int32, total)
-	if int64(maxDim) <= 8*int64(total)+4096 {
-		lut := make([]int32, maxDim)
-		for i := range lut {
-			lut[i] = -1
-		}
+	voc.dims = getU32(total)[:0]
+	voc.backing = getI32(total)
+	backing := voc.backing
+	if int64(maxDim) <= 8*int64(total)+4096 && total < lutRowMax {
+		lut := getLUT(int(maxDim))
+		defer putLUT(lut)
+		slots := lut.slots
+		tag := lut.epoch << 24
 		for i, v := range data {
 			es := v.Entries()
 			ri := backing[:len(es):len(es)]
 			backing = backing[len(es):]
 			for e, en := range es {
-				r := lut[en.Dim]
-				if r < 0 {
+				var r int32
+				if s := slots[en.Dim]; s>>24 == lut.epoch {
+					r = int32(s&lutRowMax) - 1
+				} else {
 					r = int32(len(voc.dims))
-					lut[en.Dim] = r
 					voc.dims = append(voc.dims, en.Dim)
+					slots[en.Dim] = tag | uint32(len(voc.dims))
 				}
 				ri[e] = r
 			}
@@ -134,7 +267,7 @@ func vocabulary(data []vecmath.Vector) *vocab {
 		}
 		return voc
 	}
-	rows := make(map[uint32]int32)
+	rows := make(map[uint32]int32, total)
 	for i, v := range data {
 		es := v.Entries()
 		ri := backing[:len(es):len(es)]
@@ -152,6 +285,143 @@ func vocabulary(data []vecmath.Vector) *vocab {
 	}
 	return voc
 }
+
+// sortByDim renumbers vocabulary rows in ascending dimension order (LSD
+// radix sort, deterministic) and rewrites every vector's row indices. Since
+// vector entries are dimension-sorted, each rowIdx slice becomes monotone
+// non-decreasing afterwards — the invariant the panel-streamed schedules
+// need so a per-vector cursor can consume entries in order across panels.
+func (v *vocab) sortByDim() {
+	rows := len(v.dims)
+	if rows < 2 {
+		return
+	}
+	dims := v.dims
+	tmpD := make([]uint32, rows)
+	old := make([]int32, rows)
+	tmpO := make([]int32, rows)
+	for i := range old {
+		old[i] = int32(i)
+	}
+	var counts [1 << 11]int32
+	for shift := uint(0); shift < 32; shift += 11 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, d := range dims {
+			counts[(d>>shift)&2047]++
+		}
+		sum := int32(0)
+		for i, c := range counts {
+			counts[i] = sum
+			sum += c
+		}
+		for i, d := range dims {
+			dig := (d >> shift) & 2047
+			p := counts[dig]
+			counts[dig] = p + 1
+			tmpD[p] = d
+			tmpO[p] = old[i]
+		}
+		dims, tmpD = tmpD, dims
+		old, tmpO = tmpO, old
+	}
+	newOf := tmpO // free after the passes; reuse as old-row -> new-row map
+	for p, o := range old {
+		newOf[o] = int32(p)
+	}
+	v.dims = dims
+	for _, ri := range v.rowIdx {
+		for m := range ri {
+			ri[m] = newOf[ri[m]]
+		}
+	}
+}
+
+// Scratch pools recycle the large signing buffers — projection / rank caches
+// and fused accumulators — across builds and insert batches, which removes
+// the allocator's page-zeroing from the hot path. Contents are undefined on
+// get; every user either fully overwrites or explicitly resets. Signature
+// key slices are never pooled (tables retain them).
+var (
+	f64Pool sync.Pool
+	f32Pool sync.Pool
+	u64Pool sync.Pool
+	i32Pool sync.Pool
+	u32Pool sync.Pool
+)
+
+func getF64(n int) []float64 {
+	if p, _ := f64Pool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+func putF64(s []float64) { f64Pool.Put(&s) }
+
+func getF32(n int) []float32 {
+	if p, _ := f32Pool.Get().(*[]float32); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float32, n)
+}
+func putF32(s []float32) { f32Pool.Put(&s) }
+
+func getU64(n int) []uint64 {
+	if p, _ := u64Pool.Get().(*[]uint64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint64, n)
+}
+func putU64(s []uint64) { u64Pool.Put(&s) }
+
+func getI32(n int) []int32 {
+	if p, _ := i32Pool.Get().(*[]int32); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int32, n)
+}
+func putI32(s []int32) { i32Pool.Put(&s) }
+
+func getU32(n int) []uint32 {
+	if p, _ := u32Pool.Get().(*[]uint32); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint32, n)
+}
+func putU32(s []uint32) { u32Pool.Put(&s) }
+
+// dimLUT is the pooled dimension-to-row lookup table. Each slot holds the
+// owner's epoch in the high 8 bits and row+1 in the low 24, so reusing the
+// table only needs an epoch bump — stale slots from earlier builds fail the
+// tag compare. A real clear happens once every 255 reuses (and for the zeroed
+// memory of a fresh allocation, whose tag 0 never matches a live epoch).
+type dimLUT struct {
+	epoch uint32
+	slots []uint32
+}
+
+// lutRowMax bounds row+1 to the 24 bits a slot can hold; vocabularies at
+// least this large take the map path instead.
+const lutRowMax = 1<<24 - 1
+
+var lutPool sync.Pool
+
+func getLUT(n int) *dimLUT {
+	l, _ := lutPool.Get().(*dimLUT)
+	if l == nil || cap(l.slots) < n {
+		l = &dimLUT{slots: make([]uint32, n)}
+	}
+	l.slots = l.slots[:n]
+	l.epoch++
+	if l.epoch == 256 {
+		l.epoch = 1
+		clear(l.slots[:cap(l.slots)])
+	}
+	return l
+}
+
+func putLUT(l *dimLUT) { lutPool.Put(l) }
 
 // parallelChunks invokes fn over [0, n) split into contiguous chunks, one
 // per available CPU. fn must only write to slots in its own range.
@@ -180,156 +450,452 @@ func parallelChunks(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// signSimHash signs the batch with cached hyperplane rows: per table, an
-// ℓ·k-free projection cache proj[row·k+j] = a_{fnBase+j}[dim], then one
-// multiply-add pass per vector entry. Accumulation order per function equals
-// the naive SimHash.Hash entry order, so dot products (and their signs) are
-// bit-identical to the per-vector path.
-func (e *engine) signSimHash(f SimHash, data []vecmath.Vector, sigs *signatures) {
-	voc := vocabulary(data)
+// lane constrains the SimHash projection element type: float64 (default,
+// byte-identical to the naive path) or float32 (opt-in half-width lane).
+type lane interface {
+	~float32 | ~float64
+}
+
+// packSim packs one vector's fused sign bits into every table's key slot.
+// dots holds all ℓ·k accumulators, table-major.
+func packSim[F lane](e *engine, sigs *signatures, i int, dots []F, vals []uint64) {
 	k := e.k
-	proj := make([]float64, len(voc.dims)*k)
-	streams := make([]xrand.GaussStream, k)
-	for t := 0; t < e.ell; t++ {
-		fnBase := uint64(t * k)
-		for j := range streams {
-			streams[j] = xrand.NewGaussStream(f.seed, fnBase+uint64(j))
+	if sigs.narrow {
+		for t := 0; t < e.ell; t++ {
+			var word uint64
+			for _, dot := range dots[t*k : (t+1)*k] {
+				word <<= 1
+				if dot >= 0 {
+					word |= 1
+				}
+			}
+			sigs.u64[t][i] = word
 		}
-		parallelChunks(len(voc.dims), func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				d := uint64(voc.dims[r])
-				row := proj[r*k : r*k+k]
-				for j := range row {
-					row[j] = streams[j].At(d)
-				}
+		return
+	}
+	for t := 0; t < e.ell; t++ {
+		for j, dot := range dots[t*k : (t+1)*k] {
+			if dot >= 0 {
+				vals[j] = 1
+			} else {
+				vals[j] = 0
 			}
-		})
-		parallelChunks(len(data), func(lo, hi int) {
-			dots := make([]float64, k)
-			vals := make([]uint64, k)
-			for i := lo; i < hi; i++ {
-				for j := range dots {
-					dots[j] = 0
-				}
-				es := data[i].Entries()
-				for e2, r := range voc.rowIdx[i] {
-					w := float64(es[e2].Weight)
-					row := proj[int(r)*k : int(r)*k+k]
-					for j := 0; j < k; j++ {
-						dots[j] += w * row[j]
-					}
-				}
-				if sigs.narrow {
-					var word uint64
-					for _, dot := range dots {
-						word <<= 1
-						if dot >= 0 {
-							word |= 1
-						}
-					}
-					sigs.u64[t][i] = word
-				} else {
-					for j, dot := range dots {
-						if dot >= 0 {
-							vals[j] = 1
-						} else {
-							vals[j] = 0
-						}
-					}
-					sigs.str[t][i] = packKey(vals, 1)
-				}
-			}
-		})
+		}
+		sigs.str[t][i] = packKey(vals, 1)
 	}
 }
 
-// signMinHash signs the batch with cached rank rows rank[row·k+j] =
-// hash64(seed, fnBase+j, dim); each vector takes the min over its entries
-// per function (order-independent, so trivially identical to the naive
-// path) and truncates to Bits().
-func (e *engine) signMinHash(f MinHash, data []vecmath.Vector, sigs *signatures) {
+// signSimHash signs the batch against a fused ℓ·k-wide hyperplane cache:
+// proj[row·ℓk + t·k + j] = a_{t·k+j}[dim(row)]. One vocabulary, one fill
+// pass, one accumulate pass for all tables. Per-lane accumulation order
+// equals the naive SimHash.Hash entry order (the paired kernel folds
+// (dst + w1·r1) + w2·r2 in exactly that association), so float64 dot
+// products — and their signs — are bit-identical to the per-vector path.
+func (e *engine) signSimHash(f SimHash, data []vecmath.Vector, sigs *signatures) {
 	voc := vocabulary(data)
-	k := e.k
-	shift := uint(64 - f.bits)
-	rank := make([]uint64, len(voc.dims)*k)
-	vals64 := make([]uint64, k)
-	streams := make([]xrand.HashStream, k)
-	for t := 0; t < e.ell; t++ {
-		fnBase := uint64(t * k)
-		for j := range streams {
-			streams[j] = xrand.NewHashStream(f.seed, fnBase+uint64(j))
-		}
-		parallelChunks(len(voc.dims), func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				d := uint64(voc.dims[r])
-				row := rank[r*k : r*k+k]
-				for j := range row {
-					row[j] = streams[j].At(d)
-				}
-			}
-		})
-		// Empty vectors share a per-function sentinel bucket.
-		for j := 0; j < k; j++ {
-			vals64[j] = hash64(f.seed, fnBase+uint64(j), ^uint64(0)) >> shift
-		}
-		emptyWord := uint64(0)
-		emptyKey := ""
+	defer voc.release()
+	streams := make([]xrand.GaussStream, e.lk)
+	for fn := range streams {
+		streams[fn] = xrand.NewGaussStream(f.seed, uint64(fn))
+	}
+	if e.cfg.Float32 {
+		signSimLane[float32](e, data, voc, streams, sigs, xrand.FillGaussRows32,
+			simKernels[float32]{e.f32MulAdd, e.f32MulAdd2, e.f32MulAdd4, e.f32MulAddSet, e.f32MulAdd2Set, e.f32MulAdd4Set},
+			getF32, putF32, e.panelRows(4))
+		return
+	}
+	signSimLane[float64](e, data, voc, streams, sigs, xrand.FillGaussRows,
+		simKernels[float64]{e.f64MulAdd, e.f64MulAdd2, e.f64MulAdd4, e.f64MulAddSet, e.f64MulAdd2Set, e.f64MulAdd4Set},
+		getF64, putF64, e.panelRows(8))
+}
+
+// simKernels bundles one lane's multiply-add kernels: fold variants
+// accumulate into dst, Set variants overwrite it on a vector's first fold so
+// accumulators never need clearing.
+type simKernels[F lane] struct {
+	mulAdd     func(dst, row []F, w F)
+	mulAdd2    func(dst, r1, r2 []F, w1, w2 F)
+	mulAdd4    func(dst, r1, r2, r3, r4 []F, w1, w2, w3, w4 F)
+	mulAddSet  func(dst, row []F, w F)
+	mulAdd2Set func(dst, r1, r2 []F, w1, w2 F)
+	mulAdd4Set func(dst, r1, r2, r3, r4 []F, w1, w2, w3, w4 F)
+}
+
+// simEmpty returns the signature of an empty vector: every dot is zero, so
+// every sign bit is 1.
+func (e *engine) simEmpty(narrow bool) (word uint64, key string) {
+	if narrow {
+		return ^uint64(0) >> (64 - uint(e.k)), ""
+	}
+	ones := make([]uint64, e.k)
+	for j := range ones {
+		ones[j] = 1
+	}
+	return 0, packKey(ones, 1)
+}
+
+// signSimLane is the lane-generic SimHash schedule: fused single-pass when
+// the whole projection cache fits the panel budget, panel-streamed
+// otherwise. Both schedules fold each vector's entries in entry order per
+// lane, so they produce identical output for a given lane type.
+func signSimLane[F lane](
+	e *engine, data []vecmath.Vector, voc *vocab, streams []xrand.GaussStream, sigs *signatures,
+	fill func(dst []F, streams []xrand.GaussStream, dims []uint32),
+	kn simKernels[F],
+	grab func(int) []F, drop func([]F),
+	panelRows int,
+) {
+	lk := e.lk
+	rows := len(voc.dims)
+	n := len(data)
+	emptyWord, emptyKey := e.simEmpty(sigs.narrow)
+	storeEmpty := func(i int) {
 		if sigs.narrow {
-			emptyWord = packWord(vals64, f.bits)
-		} else {
-			emptyKey = packKey(vals64, f.bits)
+			for t := 0; t < e.ell; t++ {
+				sigs.u64[t][i] = emptyWord
+			}
+			return
 		}
-		parallelChunks(len(data), func(lo, hi int) {
-			best := make([]uint64, k)
-			vals := make([]uint64, k)
+		for t := 0; t < e.ell; t++ {
+			sigs.str[t][i] = emptyKey
+		}
+	}
+
+	if panelRows >= rows {
+		// Fused single pass: the whole cache is resident.
+		proj := grab(rows * lk)
+		defer drop(proj)
+		parallelChunks(rows, func(lo, hi int) {
+			fill(proj[lo*lk:hi*lk], streams, voc.dims[lo:hi])
+		})
+		parallelChunks(n, func(lo, hi int) {
+			dots := make([]F, lk)
+			var vals []uint64
+			if !sigs.narrow {
+				vals = make([]uint64, e.k)
+			}
 			for i := lo; i < hi; i++ {
 				es := data[i].Entries()
-				if len(es) == 0 {
-					if sigs.narrow {
-						sigs.u64[t][i] = emptyWord
-					} else {
-						sigs.str[t][i] = emptyKey
+				ri := voc.rowIdx[i]
+				if len(ri) == 0 {
+					storeEmpty(i)
+					continue
+				}
+				c := 0
+				if len(ri) >= 4 {
+					b1, b2 := int(ri[0])*lk, int(ri[1])*lk
+					b3, b4 := int(ri[2])*lk, int(ri[3])*lk
+					kn.mulAdd4Set(dots, proj[b1:b1+lk], proj[b2:b2+lk], proj[b3:b3+lk], proj[b4:b4+lk],
+						F(es[0].Weight), F(es[1].Weight), F(es[2].Weight), F(es[3].Weight))
+					for c = 4; c+4 <= len(ri); c += 4 {
+						b1, b2 = int(ri[c])*lk, int(ri[c+1])*lk
+						b3, b4 = int(ri[c+2])*lk, int(ri[c+3])*lk
+						kn.mulAdd4(dots, proj[b1:b1+lk], proj[b2:b2+lk], proj[b3:b3+lk], proj[b4:b4+lk],
+							F(es[c].Weight), F(es[c+1].Weight), F(es[c+2].Weight), F(es[c+3].Weight))
 					}
+				}
+				if c+2 <= len(ri) {
+					b1, b2 := int(ri[c])*lk, int(ri[c+1])*lk
+					if c == 0 {
+						kn.mulAdd2Set(dots, proj[b1:b1+lk], proj[b2:b2+lk], F(es[c].Weight), F(es[c+1].Weight))
+					} else {
+						kn.mulAdd2(dots, proj[b1:b1+lk], proj[b2:b2+lk], F(es[c].Weight), F(es[c+1].Weight))
+					}
+					c += 2
+				}
+				if c < len(ri) {
+					b := int(ri[c]) * lk
+					if c == 0 {
+						kn.mulAddSet(dots, proj[b:b+lk], F(es[c].Weight))
+					} else {
+						kn.mulAdd(dots, proj[b:b+lk], F(es[c].Weight))
+					}
+				}
+				packSim(e, sigs, i, dots, vals)
+			}
+		})
+		return
+	}
+
+	// Panel-streamed: renumber rows by dimension so per-vector row indices
+	// are monotone, then sweep dimension-block panels with persistent
+	// accumulators and per-vector cursors. A vector's first fold (cursor 0)
+	// uses the Set kernels, so the pooled accumulator block never needs
+	// clearing.
+	voc.sortByDim()
+	dots := grab(n * lk)
+	defer drop(dots)
+	cur := getI32(n)
+	defer putI32(cur)
+	for j := range cur {
+		cur[j] = 0
+	}
+	proj := grab(panelRows * lk)
+	defer drop(proj)
+	for r0 := 0; r0 < rows; r0 += panelRows {
+		r1 := r0 + panelRows
+		if r1 > rows {
+			r1 = rows
+		}
+		parallelChunks(r1-r0, func(lo, hi int) {
+			fill(proj[lo*lk:hi*lk], streams, voc.dims[r0+lo:r0+hi])
+		})
+		lim := int32(r1)
+		parallelChunks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ri := voc.rowIdx[i]
+				c := int(cur[i])
+				if c >= len(ri) || ri[c] >= lim {
+					continue
+				}
+				es := data[i].Entries()
+				d := dots[i*lk : i*lk+lk]
+				if c == 0 {
+					if len(ri) >= 2 && ri[1] < lim {
+						b1 := (int(ri[0]) - r0) * lk
+						b2 := (int(ri[1]) - r0) * lk
+						kn.mulAdd2Set(d, proj[b1:b1+lk], proj[b2:b2+lk], F(es[0].Weight), F(es[1].Weight))
+						c = 2
+					} else {
+						b := (int(ri[0]) - r0) * lk
+						kn.mulAddSet(d, proj[b:b+lk], F(es[0].Weight))
+						c = 1
+					}
+				}
+				for c+2 <= len(ri) && ri[c+1] < lim {
+					b1 := (int(ri[c]) - r0) * lk
+					b2 := (int(ri[c+1]) - r0) * lk
+					kn.mulAdd2(d, proj[b1:b1+lk], proj[b2:b2+lk], F(es[c].Weight), F(es[c+1].Weight))
+					c += 2
+				}
+				if c < len(ri) && ri[c] < lim {
+					b := (int(ri[c]) - r0) * lk
+					kn.mulAdd(d, proj[b:b+lk], F(es[c].Weight))
+					c++
+				}
+				cur[i] = int32(c)
+			}
+		})
+	}
+	parallelChunks(n, func(lo, hi int) {
+		var vals []uint64
+		if !sigs.narrow {
+			vals = make([]uint64, e.k)
+		}
+		for i := lo; i < hi; i++ {
+			if len(voc.rowIdx[i]) == 0 {
+				storeEmpty(i)
+				continue
+			}
+			packSim(e, sigs, i, dots[i*lk:i*lk+lk], vals)
+		}
+	})
+}
+
+// signOne32 evaluates the float32 SimHash lane for a single vector,
+// matching the batch engine bit for bit: per function, float32 keyed-stream
+// values times float32 weights, accumulated in float32 in entry order.
+// Snapshot.hashInto routes here when the snapshot was signed in the float32
+// lane, so single-vector inserts and lookups agree with the batch build.
+func signOne32(f SimHash, base, k int, v vecmath.Vector, vals []uint64) {
+	es := v.Entries()
+	for j := 0; j < k; j++ {
+		st := xrand.NewGaussStream(f.seed, uint64(base+j))
+		var dot float32
+		for _, en := range es {
+			dot += en.Weight * float32(st.At(uint64(en.Dim)))
+		}
+		if dot >= 0 {
+			vals[j] = 1
+		} else {
+			vals[j] = 0
+		}
+	}
+}
+
+// minhashEmpty precomputes the per-table sentinel key shared by empty
+// vectors: per function, hash64(seed, fn, ^0) truncated to Bits().
+func (e *engine) minhashEmpty(f MinHash, sigs *signatures) (words []uint64, keys []string) {
+	shift := uint(64 - f.bits)
+	vals := make([]uint64, e.k)
+	if sigs.narrow {
+		words = make([]uint64, e.ell)
+	} else {
+		keys = make([]string, e.ell)
+	}
+	for t := 0; t < e.ell; t++ {
+		fnBase := uint64(t * e.k)
+		for j := 0; j < e.k; j++ {
+			vals[j] = hash64(f.seed, fnBase+uint64(j), ^uint64(0)) >> shift
+		}
+		if sigs.narrow {
+			words[t] = packWord(vals, f.bits)
+		} else {
+			keys[t] = packKey(vals, f.bits)
+		}
+	}
+	return
+}
+
+// packMin packs one vector's fused minima into every table's key slot.
+func (e *engine) packMin(f MinHash, sigs *signatures, i int, best []uint64, vals []uint64) {
+	k := e.k
+	shift := uint(64 - f.bits)
+	if sigs.narrow {
+		for t := 0; t < e.ell; t++ {
+			var word uint64
+			for _, b := range best[t*k : (t+1)*k] {
+				word = word<<uint(f.bits) | b>>shift
+			}
+			sigs.u64[t][i] = word
+		}
+		return
+	}
+	for t := 0; t < e.ell; t++ {
+		for j, b := range best[t*k : (t+1)*k] {
+			vals[j] = b >> shift
+		}
+		sigs.str[t][i] = packKey(vals, f.bits)
+	}
+}
+
+// signMinHash signs the batch against a fused ℓ·k-wide rank cache
+// rank[row·ℓk + t·k + j] = hash64(seed, t·k+j, dim(row)); each vector takes
+// elementwise minima over its entries (order-independent, so trivially
+// identical to the naive path) and truncates to Bits(). Falls back to the
+// panel-streamed schedule when the cache exceeds the panel budget.
+func (e *engine) signMinHash(f MinHash, data []vecmath.Vector, sigs *signatures) {
+	voc := vocabulary(data)
+	defer voc.release()
+	lk := e.lk
+	rows := len(voc.dims)
+	n := len(data)
+	streams := make([]xrand.HashStream, lk)
+	for fn := range streams {
+		streams[fn] = xrand.NewHashStream(f.seed, uint64(fn))
+	}
+	emptyWords, emptyKeys := e.minhashEmpty(f, sigs)
+	storeEmpty := func(i int) {
+		if sigs.narrow {
+			for t := 0; t < e.ell; t++ {
+				sigs.u64[t][i] = emptyWords[t]
+			}
+			return
+		}
+		for t := 0; t < e.ell; t++ {
+			sigs.str[t][i] = emptyKeys[t]
+		}
+	}
+
+	panelRows := e.panelRows(8)
+	if panelRows >= rows {
+		rank := getU64(rows * lk)
+		defer putU64(rank)
+		parallelChunks(rows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				xrand.FillHashRow(rank[r*lk:r*lk+lk], streams, uint64(voc.dims[r]))
+			}
+		})
+		parallelChunks(n, func(lo, hi int) {
+			best := make([]uint64, lk)
+			vals := make([]uint64, e.k)
+			for i := lo; i < hi; i++ {
+				ri := voc.rowIdx[i]
+				if len(ri) == 0 {
+					storeEmpty(i)
 					continue
 				}
 				for j := range best {
 					best[j] = ^uint64(0)
 				}
-				for _, r := range voc.rowIdx[i] {
-					row := rank[int(r)*k : int(r)*k+k]
-					for j := 0; j < k; j++ {
-						if row[j] < best[j] {
-							best[j] = row[j]
-						}
-					}
+				c := 0
+				for ; c+2 <= len(ri); c += 2 {
+					b1 := int(ri[c]) * lk
+					b2 := int(ri[c+1]) * lk
+					e.u64Min2(best, rank[b1:b1+lk], rank[b2:b2+lk])
 				}
-				if sigs.narrow {
-					var word uint64
-					for _, b := range best {
-						word = word<<uint(f.bits) | b>>shift
-					}
-					sigs.u64[t][i] = word
-				} else {
-					for j, b := range best {
-						vals[j] = b >> shift
-					}
-					sigs.str[t][i] = packKey(vals, f.bits)
+				if c < len(ri) {
+					b := int(ri[c]) * lk
+					e.u64Min(best, rank[b:b+lk])
 				}
+				e.packMin(f, sigs, i, best, vals)
+			}
+		})
+		return
+	}
+
+	// Panel-streamed minima: same cursor sweep as SimHash, min instead of
+	// multiply-add (order-irrelevant, but the sweep keeps it anyway).
+	voc.sortByDim()
+	best := getU64(n * lk)
+	defer putU64(best)
+	for j := range best {
+		best[j] = ^uint64(0)
+	}
+	cur := getI32(n)
+	defer putI32(cur)
+	for j := range cur {
+		cur[j] = 0
+	}
+	rank := getU64(panelRows * lk)
+	defer putU64(rank)
+	for r0 := 0; r0 < rows; r0 += panelRows {
+		r1 := r0 + panelRows
+		if r1 > rows {
+			r1 = rows
+		}
+		parallelChunks(r1-r0, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				xrand.FillHashRow(rank[r*lk:r*lk+lk], streams, uint64(voc.dims[r0+r]))
+			}
+		})
+		lim := int32(r1)
+		parallelChunks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ri := voc.rowIdx[i]
+				c := int(cur[i])
+				if c >= len(ri) || ri[c] >= lim {
+					continue
+				}
+				b := best[i*lk : i*lk+lk]
+				for c+2 <= len(ri) && ri[c+1] < lim {
+					b1 := (int(ri[c]) - r0) * lk
+					b2 := (int(ri[c+1]) - r0) * lk
+					e.u64Min2(b, rank[b1:b1+lk], rank[b2:b2+lk])
+					c += 2
+				}
+				if c < len(ri) && ri[c] < lim {
+					bb := (int(ri[c]) - r0) * lk
+					e.u64Min(b, rank[bb:bb+lk])
+					c++
+				}
+				cur[i] = int32(c)
 			}
 		})
 	}
+	parallelChunks(n, func(lo, hi int) {
+		vals := make([]uint64, e.k)
+		for i := lo; i < hi; i++ {
+			if len(voc.rowIdx[i]) == 0 {
+				storeEmpty(i)
+				continue
+			}
+			e.packMin(f, sigs, i, best[i*lk:i*lk+lk], vals)
+		}
+	})
 }
 
 // signGeneric signs the batch through Family.Hash — no dimension cache, but
-// still parallel across vectors and allocation-free in narrow mode. All
-// family implementations not known to the engine take this path.
+// one worker spawn covers all ℓ tables, parallel across vectors and
+// allocation-free in narrow mode. All family implementations not known to
+// the engine take this path.
 func (e *engine) signGeneric(data []vecmath.Vector, sigs *signatures) {
 	k := e.k
-	for t := 0; t < e.ell; t++ {
-		base := t * k
-		parallelChunks(len(data), func(lo, hi int) {
-			vals := make([]uint64, k)
-			for i := lo; i < hi; i++ {
+	parallelChunks(len(data), func(lo, hi int) {
+		vals := make([]uint64, k)
+		for i := lo; i < hi; i++ {
+			for t := 0; t < e.ell; t++ {
+				base := t * k
 				for j := 0; j < k; j++ {
 					vals[j] = e.fam.Hash(base+j, data[i])
 				}
@@ -339,6 +905,6 @@ func (e *engine) signGeneric(data []vecmath.Vector, sigs *signatures) {
 					sigs.str[t][i] = packKey(vals, e.bits)
 				}
 			}
-		})
-	}
+		}
+	})
 }

@@ -60,6 +60,12 @@ func newFenwick(order []*bucket) fenwick {
 	for span < n {
 		span *= 2
 	}
+	// One arena backs every node of the fresh tree: n leaves plus at most
+	// n-1+log2(span) internal nodes. The capacity is an upper bound, so
+	// append never reallocates and handed-out pointers stay valid. Nodes are
+	// immutable after construction (set and push path-copy), so sharing the
+	// arena across snapshots is as safe as sharing individual nodes.
+	arena := make([]wnode, 0, 2*n+64)
 	var build func(lo, sp int) *wnode
 	build = func(lo, sp int) *wnode {
 		if lo >= n {
@@ -67,12 +73,14 @@ func newFenwick(order []*bucket) fenwick {
 		}
 		if sp == 1 {
 			b := order[lo]
-			return &wnode{sum: pairs2(int64(len(b.ids))), b: b}
+			arena = append(arena, wnode{sum: pairs2(int64(len(b.ids))), b: b})
+		} else {
+			half := sp / 2
+			l := build(lo, half)
+			r := build(lo+half, half)
+			arena = append(arena, wnode{sum: wsum(l) + wsum(r), l: l, r: r})
 		}
-		half := sp / 2
-		l := build(lo, half)
-		r := build(lo+half, half)
-		return &wnode{sum: wsum(l) + wsum(r), l: l, r: r}
+		return &arena[len(arena)-1]
 	}
 	return fenwick{root: build(0, span), size: n, span: span}
 }

@@ -79,13 +79,25 @@ func (x *Index) PublishAndThen(fn func(s *Snapshot)) *Snapshot {
 // result is deterministic for a given family seed, independent of
 // GOMAXPROCS.
 func Build(data []vecmath.Vector, family Family, k, ell int) (*Index, error) {
+	return BuildSigned(data, family, k, ell, SignConfig{})
+}
+
+// BuildSigned is Build with an explicit signing configuration: the float32
+// projection lane and/or a panel budget for the projection cache (see
+// SignConfig). The zero config is exactly Build. The config is recorded on
+// every published snapshot, so single-vector hashing (KeyFor, Insert) and
+// later InsertBatch signing stay consistent with the batch build.
+func BuildSigned(data []vecmath.Vector, family Family, k, ell int, cfg SignConfig) (*Index, error) {
 	if err := validateParams(family, k, ell); err != nil {
 		return nil, err
+	}
+	if cfg.PanelBytes < 0 {
+		return nil, fmt.Errorf("lsh: negative sign panel budget %d", cfg.PanelBytes)
 	}
 	if len(data) == 0 {
 		return nil, fmt.Errorf("lsh: empty vector collection")
 	}
-	sigs := newEngine(family, k, ell).sign(data)
+	sigs := newEngine(family, k, ell, cfg).sign(data)
 	// Clamp capacity so later delta merges can never append into spare
 	// capacity of the caller's slice (which would overwrite caller-owned
 	// elements past the indexed prefix).
@@ -96,6 +108,7 @@ func Build(data []vecmath.Vector, family Family, k, ell int) (*Index, error) {
 		k:       k,
 		ell:     ell,
 		narrow:  isNarrow(k, family.Bits()),
+		sign:    cfg,
 		data:    data,
 		tables:  make([]*Table, ell),
 		pool:    &sync.Pool{},
@@ -162,6 +175,7 @@ func (x *Index) publishLocked() *Snapshot {
 		k:       cur.k,
 		ell:     cur.ell,
 		narrow:  cur.narrow,
+		sign:    cur.sign,
 		data:    append(cur.data, x.pendData...),
 		tables:  make([]*Table, cur.ell),
 		pool:    cur.pool,

@@ -90,6 +90,12 @@ type ShardGroup struct {
 // s == 1 the single shard indexes data in place, producing an Index
 // bit-identical to Build(data, family, k, ell).
 func NewShardGroup(data []vecmath.Vector, family Family, k, ell, s int) (*ShardGroup, error) {
+	return NewShardGroupSigned(data, family, k, ell, s, SignConfig{})
+}
+
+// NewShardGroupSigned is NewShardGroup with an explicit signing
+// configuration applied to every shard (see SignConfig and BuildSigned).
+func NewShardGroupSigned(data []vecmath.Vector, family Family, k, ell, s int, cfg SignConfig) (*ShardGroup, error) {
 	if err := validateParams(family, k, ell); err != nil {
 		return nil, err
 	}
@@ -109,10 +115,10 @@ func NewShardGroup(data []vecmath.Vector, family Family, k, ell, s int) (*ShardG
 	var err error
 	for sh := range g.shards {
 		if len(parts[sh]) == 0 {
-			g.shards[sh] = emptyIndex(family, k, ell)
+			g.shards[sh] = emptyIndexSigned(family, k, ell, cfg)
 			continue
 		}
-		if g.shards[sh], err = Build(parts[sh], family, k, ell); err != nil {
+		if g.shards[sh], err = BuildSigned(parts[sh], family, k, ell, cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -145,6 +151,10 @@ func NewShardGroupFromIndexes(family Family, k, ell int, shards []*Index) (*Shar
 // emptyIndex constructs a zero-vector Index (version 1, empty tables) for
 // shards the initial routing left unpopulated.
 func emptyIndex(family Family, k, ell int) *Index {
+	return emptyIndexSigned(family, k, ell, SignConfig{})
+}
+
+func emptyIndexSigned(family Family, k, ell int, cfg SignConfig) *Index {
 	narrow := isNarrow(k, family.Bits())
 	snap := &Snapshot{
 		version: 1,
@@ -152,6 +162,7 @@ func emptyIndex(family Family, k, ell int) *Index {
 		k:       k,
 		ell:     ell,
 		narrow:  narrow,
+		sign:    cfg,
 		tables:  make([]*Table, ell),
 		pool:    &sync.Pool{},
 	}

@@ -9,8 +9,11 @@
 package xrand
 
 import (
+	"encoding/binary"
 	"math"
 	"math/bits"
+
+	"lshjoin/internal/kernel"
 )
 
 // SplitMix64 advances the given state and returns the next value of the
@@ -253,6 +256,291 @@ func NewHashStream(seed, fn uint64) HashStream {
 // At returns KeyedHash(seed, fn, elem).
 func (h HashStream) At(elem uint64) uint64 {
 	return Mix64(h.pre ^ (elem * 0xA0761D6478BD642F))
+}
+
+// The batched row fills below are the dimension-major form of At: one call
+// fills dst[f] = streams[f].At(dim) for a whole fused row of hash functions.
+// The dim half of the key mix is hoisted out of the loop and the bodies are
+// unrolled 4-wide with independent mixing chains, which matters because the
+// signature engine evaluates one such row per distinct corpus dimension —
+// the single largest cost of an index build. Each fill is value-identical to
+// the per-stream At loop (asserted by TestRowFillsMatchAt).
+
+// FillGaussRow fills dst[f] = streams[f].At(dim) for f in [0, len(dst)).
+// len(streams) must be >= len(dst).
+//
+// The loop body is gaussianFromHash written out by hand: the function call
+// per value (it exceeds the inliner's budget because of the tail-region
+// InvNormCDF call) would cost as much as the arithmetic itself, and manual
+// inlining also lets independent table lookups overlap.
+//
+// The slot/fraction arithmetic is restated in exact integer form. With
+// hv = h>>11 < 2^53, the sum float64(hv)+0.5 is exact for hv < 2^52 (53
+// significand bits suffice) and rounds to even — hv + (hv&1) — when bit 52
+// is set. In half-units μ (sum = μ/2), both cases are integers with ≤ 53
+// significant bits, so u = μ·2⁻⁵⁴ and t = u·4096 = μ·2⁻⁴² are exact:
+// int(t) is exactly μ>>42 and t−float64(slot) is exactly the low 42 bits of
+// μ scaled by 2⁻⁴². Every quantity the original floating-point expressions
+// produced is therefore reproduced bit for bit (TestRowFillsMatchAt
+// asserts this against At, which keeps the floating-point form), while the
+// table-lookup address comes off a short integer chain instead of a
+// convert→mul→truncate chain.
+func FillGaussRow(dst []float64, streams []GaussStream, dim uint64) {
+	m := dim * 0xA0761D6478BD642F
+	n := len(dst)
+	streams = streams[:n]
+	const fracMask = 1<<42 - 1
+	// Central slots form one contiguous range, so "in table" is a single
+	// unsigned compare; processing four streams per iteration keeps four
+	// independent mix→slot→load chains in flight (all four land in the
+	// central region ~88% of the time).
+	const central = uint(invNormSlots - 2*invNormTailSlots)
+	f := 0
+	for ; f+4 <= n; f += 4 {
+		hv1 := Mix64(streams[f].pre^m) >> 11
+		hv2 := Mix64(streams[f+1].pre^m) >> 11
+		hv3 := Mix64(streams[f+2].pre^m) >> 11
+		hv4 := Mix64(streams[f+3].pre^m) >> 11
+		b1 := hv1 >> 52 // 1 iff float64(hv)+0.5 rounds (to even)
+		b2 := hv2 >> 52
+		b3 := hv3 >> 52
+		b4 := hv4 >> 52
+		mu1 := hv1<<1 + 1 - b1 + (b1&hv1&1)<<1
+		mu2 := hv2<<1 + 1 - b2 + (b2&hv2&1)<<1
+		mu3 := hv3<<1 + 1 - b3 + (b3&hv3&1)<<1
+		mu4 := hv4<<1 + 1 - b4 + (b4&hv4&1)<<1
+		s1 := uint(mu1>>42) - invNormTailSlots
+		s2 := uint(mu2>>42) - invNormTailSlots
+		s3 := uint(mu3>>42) - invNormTailSlots
+		s4 := uint(mu4>>42) - invNormTailSlots
+		if s1 < central && s2 < central && s3 < central && s4 < central {
+			e1 := &invNormTab[s1+invNormTailSlots]
+			e2 := &invNormTab[s2+invNormTailSlots]
+			e3 := &invNormTab[s3+invNormTailSlots]
+			e4 := &invNormTab[s4+invNormTailSlots]
+			dst[f] = e1[0] + float64(mu1&fracMask)*(0x1p-42)*e1[1]
+			dst[f+1] = e2[0] + float64(mu2&fracMask)*(0x1p-42)*e2[1]
+			dst[f+2] = e3[0] + float64(mu3&fracMask)*(0x1p-42)*e3[1]
+			dst[f+3] = e4[0] + float64(mu4&fracMask)*(0x1p-42)*e4[1]
+			continue
+		}
+		for o, v := range [4]struct {
+			s  uint
+			mu uint64
+			hv uint64
+		}{{s1, mu1, hv1}, {s2, mu2, hv2}, {s3, mu3, hv3}, {s4, mu4, hv4}} {
+			if v.s < central {
+				e := &invNormTab[v.s+invNormTailSlots]
+				dst[f+o] = e[0] + float64(v.mu&fracMask)*(0x1p-42)*e[1]
+			} else {
+				dst[f+o] = gaussTail(v.hv)
+			}
+		}
+	}
+	for ; f < n; f++ {
+		hv := Mix64(streams[f].pre^m) >> 11
+		b := hv >> 52
+		mu := hv<<1 + 1 - b + (b&hv&1)<<1
+		if s := uint(mu>>42) - invNormTailSlots; s < central {
+			e := &invNormTab[s+invNormTailSlots]
+			dst[f] = e[0] + float64(mu&fracMask)*(0x1p-42)*e[1]
+		} else {
+			dst[f] = gaussTail(hv)
+		}
+	}
+}
+
+// FillGaussRows fills one row per dimension in dims: row r covers
+// dst[r*k : (r+1)*k] with streams[f].At(dims[r]), k = len(streams). It is
+// FillGaussRow hoisted over a whole panel of rows — the batch signing path
+// fills tens of thousands of consecutive rows, and moving the row loop inside
+// drops a call, prologue, and slice re-check per row from the hottest loop of
+// an index build.
+func FillGaussRows(dst []float64, streams []GaussStream, dims []uint32) {
+	k := len(streams)
+	if kernel.GaussPrepSize(k) && len(dims) >= 8 {
+		fillGaussRowsPrep(dst, streams, dims)
+		return
+	}
+	const fracMask = 1<<42 - 1
+	const central = uint(invNormSlots - 2*invNormTailSlots)
+	for r, d := range dims {
+		m := uint64(d) * 0xA0761D6478BD642F
+		row := dst[r*k : r*k+k : r*k+k]
+		f := 0
+		for ; f+4 <= k; f += 4 {
+			hv1 := Mix64(streams[f].pre^m) >> 11
+			hv2 := Mix64(streams[f+1].pre^m) >> 11
+			hv3 := Mix64(streams[f+2].pre^m) >> 11
+			hv4 := Mix64(streams[f+3].pre^m) >> 11
+			b1 := hv1 >> 52 // 1 iff float64(hv)+0.5 rounds (to even)
+			b2 := hv2 >> 52
+			b3 := hv3 >> 52
+			b4 := hv4 >> 52
+			mu1 := hv1<<1 + 1 - b1 + (b1&hv1&1)<<1
+			mu2 := hv2<<1 + 1 - b2 + (b2&hv2&1)<<1
+			mu3 := hv3<<1 + 1 - b3 + (b3&hv3&1)<<1
+			mu4 := hv4<<1 + 1 - b4 + (b4&hv4&1)<<1
+			s1 := uint(mu1>>42) - invNormTailSlots
+			s2 := uint(mu2>>42) - invNormTailSlots
+			s3 := uint(mu3>>42) - invNormTailSlots
+			s4 := uint(mu4>>42) - invNormTailSlots
+			if s1 < central && s2 < central && s3 < central && s4 < central {
+				e1 := &invNormTab[s1+invNormTailSlots]
+				e2 := &invNormTab[s2+invNormTailSlots]
+				e3 := &invNormTab[s3+invNormTailSlots]
+				e4 := &invNormTab[s4+invNormTailSlots]
+				row[f] = e1[0] + float64(mu1&fracMask)*(0x1p-42)*e1[1]
+				row[f+1] = e2[0] + float64(mu2&fracMask)*(0x1p-42)*e2[1]
+				row[f+2] = e3[0] + float64(mu3&fracMask)*(0x1p-42)*e3[1]
+				row[f+3] = e4[0] + float64(mu4&fracMask)*(0x1p-42)*e4[1]
+				continue
+			}
+			for o, v := range [4]struct {
+				s  uint
+				mu uint64
+				hv uint64
+			}{{s1, mu1, hv1}, {s2, mu2, hv2}, {s3, mu3, hv3}, {s4, mu4, hv4}} {
+				if v.s < central {
+					e := &invNormTab[v.s+invNormTailSlots]
+					row[f+o] = e[0] + float64(v.mu&fracMask)*(0x1p-42)*e[1]
+				} else {
+					row[f+o] = gaussTail(v.hv)
+				}
+			}
+		}
+		for ; f < k; f++ {
+			hv := Mix64(streams[f].pre^m) >> 11
+			b := hv >> 52
+			mu := hv<<1 + 1 - b + (b&hv&1)<<1
+			if s := uint(mu>>42) - invNormTailSlots; s < central {
+				e := &invNormTab[s+invNormTailSlots]
+				row[f] = e[0] + float64(mu&fracMask)*(0x1p-42)*e[1]
+			} else {
+				row[f] = gaussTail(hv)
+			}
+		}
+	}
+}
+
+// gaussTail is the out-of-table branch of the hand-inlined gaussianFromHash:
+// reconstruct u from the hash bits and evaluate the exact inverse CDF. Kept
+// out of line so the hot central path stays small.
+func gaussTail(hv uint64) float64 {
+	u := (float64(hv) + 0.5) / (1 << 53)
+	return InvNormCDF(u)
+}
+
+// FillGaussRow32 is FillGaussRow truncated to float32 — the projection
+// cache's float32 lane. Each value is float32(streams[f].At(dim)): the keyed
+// stream stays float64 end to end and only the stored component narrows.
+func FillGaussRow32(dst []float32, streams []GaussStream, dim uint64) {
+	m := dim * 0xA0761D6478BD642F
+	n := len(dst)
+	streams = streams[:n]
+	const fracMask = 1<<42 - 1
+	for f := 0; f < n; f++ {
+		hv := Mix64(streams[f].pre^m) >> 11
+		b := hv >> 52
+		mu := hv<<1 + 1 - b + (b&hv&1)<<1
+		slot := int(mu >> 42)
+		if slot < invNormTailSlots || slot >= invNormSlots-invNormTailSlots {
+			dst[f] = float32(gaussTail(hv))
+			continue
+		}
+		e := &invNormTab[slot]
+		dst[f] = float32(e[0] + float64(mu&fracMask)*(0x1p-42)*e[1])
+	}
+}
+
+// fillGaussRowsPrep is FillGaussRows split into three passes over blocks of
+// rows: one vector kernel computes every lane's hash and exact half-unit slot
+// value (pure integer work, four wide), a second does the table interpolation
+// four lanes at a time while flagging tail lanes in a bitmap, and a sparse
+// sweep overwrites the flagged lanes (~3% of draws) with the exact tail
+// evaluation. The scratch blocks are sized to stay cache-resident, and the
+// result is bit-identical to FillGaussRow: the interpolation kernel applies
+// the same rounding sequence to the same hv/mu pairs, and tail lanes go
+// through the identical gaussTail call.
+func fillGaussRowsPrep(dst []float64, streams []GaussStream, dims []uint32) {
+	k := len(streams)
+	pres := make([]uint64, k)
+	for f, s := range streams {
+		pres[f] = s.pre
+	}
+	const blockRows = 256
+	bn := blockRows
+	if len(dims) < bn {
+		bn = len(dims)
+	}
+	hvb := make([]uint64, bn*k)
+	mub := make([]uint64, bn*k)
+	tails := make([]byte, (bn*k/4+7)&^7) // one bit per lane, padded to whole words
+	for r0 := 0; r0 < len(dims); r0 += blockRows {
+		r1 := r0 + blockRows
+		if r1 > len(dims) {
+			r1 = len(dims)
+		}
+		n := (r1 - r0) * k // multiple of 4: GaussPrepSize requires k%4 == 0
+		kernel.GaussPrep(hvb[:n], mub[:n], pres, dims[r0:r1])
+		out := dst[r0*k : r0*k+n : r0*k+n]
+		kernel.GaussInterp(out, mub[:n], tails, invNormTab[:], invNormTailSlots)
+		ng := n / 4
+		clear(tails[ng : (ng+7)&^7]) // drop stale flags from a larger previous block
+		for c := 0; c < (ng+7)&^7; c += 8 {
+			if binary.LittleEndian.Uint64(tails[c:c+8]) == 0 {
+				continue
+			}
+			for o := c; o < c+8; o++ {
+				m := tails[o]
+				for m != 0 {
+					i := o*4 + bits.TrailingZeros8(m)
+					out[i] = gaussTail(hvb[i])
+					m &= m - 1
+				}
+			}
+		}
+	}
+}
+
+// FillGaussRows32 is FillGaussRows in the float32 lane: row r covers
+// dst[r*k : (r+1)*k] with float32(streams[f].At(dims[r])).
+func FillGaussRows32(dst []float32, streams []GaussStream, dims []uint32) {
+	k := len(streams)
+	const fracMask = 1<<42 - 1
+	for r, d := range dims {
+		m := uint64(d) * 0xA0761D6478BD642F
+		row := dst[r*k : r*k+k : r*k+k]
+		for f := 0; f < k; f++ {
+			hv := Mix64(streams[f].pre^m) >> 11
+			b := hv >> 52
+			mu := hv<<1 + 1 - b + (b&hv&1)<<1
+			slot := int(mu >> 42)
+			if slot < invNormTailSlots || slot >= invNormSlots-invNormTailSlots {
+				row[f] = float32(gaussTail(hv))
+				continue
+			}
+			e := &invNormTab[slot]
+			row[f] = float32(e[0] + float64(mu&fracMask)*(0x1p-42)*e[1])
+		}
+	}
+}
+
+// FillHashRow fills dst[f] = streams[f].At(elem) for f in [0, len(dst)).
+func FillHashRow(dst []uint64, streams []HashStream, elem uint64) {
+	m := elem * 0xA0761D6478BD642F
+	n := len(dst)
+	streams = streams[:n]
+	f := 0
+	for ; f+4 <= n; f += 4 {
+		dst[f] = Mix64(streams[f].pre ^ m)
+		dst[f+1] = Mix64(streams[f+1].pre ^ m)
+		dst[f+2] = Mix64(streams[f+2].pre ^ m)
+		dst[f+3] = Mix64(streams[f+3].pre ^ m)
+	}
+	for ; f < n; f++ {
+		dst[f] = Mix64(streams[f].pre ^ m)
+	}
 }
 
 // Acklam's rational approximation of the inverse normal CDF (max relative

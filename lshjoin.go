@@ -81,6 +81,21 @@ type Options struct {
 	// the package documentation for the exact guarantees. NewCrossJoin does
 	// not support Dir yet and rejects it.
 	Dir string
+	// Float32Signing switches cosine batch builds (and the single-vector
+	// hashing that must agree with them) to the float32 projection lane:
+	// half the signing cache footprint and memory bandwidth, at the cost of
+	// occasional sign flips on near-orthogonal projections. The resulting
+	// signatures are different — not worse — than the float64 lane's, so
+	// the flag changes bucket contents while estimator guarantees hold
+	// unchanged. Jaccard collections ignore it (MinHash is an integer
+	// pipeline), and durable collections (Dir set) reject it for now.
+	Float32Signing bool
+	// SignPanelBytes caps the resident projection cache of a batch build.
+	// When the fused dimension-major cache would exceed the budget, signing
+	// streams the vocabulary in dimension-block panels and produces output
+	// identical to the fused pass. 0 means the 64 MiB default; negative is
+	// rejected.
+	SignPanelBytes int
 }
 
 func (o *Options) fillDefaults() {
@@ -154,7 +169,7 @@ func New(vectors []Vector, opt Options) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	index, err := lsh.Build(vectors, family, opt.K, opt.Tables)
+	index, err := lsh.BuildSigned(vectors, family, opt.K, opt.Tables, opt.signConfig())
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: %w", err)
 	}

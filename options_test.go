@@ -24,6 +24,7 @@ func TestInvalidOptionsSentinel(t *testing.T) {
 		{"negative_shards", Options{Shards: -3}},
 		{"unknown_measure", Options{Measure: Measure(42)}},
 		{"too_many_shards", Options{Shards: lsh.MaxShards + 1}},
+		{"negative_sign_panel", Options{SignPanelBytes: -1}},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
@@ -51,6 +52,9 @@ func TestInvalidOptionsConstructorSpecific(t *testing.T) {
 	if _, err := NewCrossJoin(left, right, Options{Dir: t.TempDir()}); !errors.Is(err, ErrInvalidOptions) {
 		t.Errorf("cross join with Dir: got %v, want ErrInvalidOptions", err)
 	}
+	if _, err := New(vecs, Options{Dir: t.TempDir(), Float32Signing: true}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("durable collection with Float32Signing: got %v, want ErrInvalidOptions", err)
+	}
 }
 
 // Valid options keep working through the shared validation path.
@@ -61,5 +65,8 @@ func TestValidOptionsStillAccepted(t *testing.T) {
 	}
 	if _, err := NewSharded(vecs, Options{Shards: 3, Measure: JaccardSimilarity}); err != nil {
 		t.Fatalf("NewSharded rejected valid options: %v", err)
+	}
+	if _, err := New(vecs, Options{Float32Signing: true, SignPanelBytes: 1 << 12}); err != nil {
+		t.Fatalf("New rejected float32 panel-streamed signing: %v", err)
 	}
 }

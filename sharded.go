@@ -74,7 +74,7 @@ func NewSharded(vectors []Vector, opt Options) (*ShardedCollection, error) {
 	if err != nil {
 		return nil, err
 	}
-	group, err := lsh.NewShardGroup(vectors, family, opt.K, opt.Tables, opt.Shards)
+	group, err := lsh.NewShardGroupSigned(vectors, family, opt.K, opt.Tables, opt.Shards, opt.signConfig())
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: %w", err)
 	}
