@@ -412,6 +412,115 @@ func runPerf(outPath string) (*perfReport, error) {
 		}
 	})
 
+	// Durable cross-join hot paths: checkpointing both sides' shard stores
+	// (the cost CrossJoin.Close pays), and recovering the whole two-sided
+	// store through the public opener.
+	add("cross_join_checkpoint", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "vsjbench-xckpt-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		fam := lsh.NewSimHash(31)
+		lg, err := lsh.NewShardGroup(data[:2000], fam, k, 1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rg, err := lsh.NewShardGroup(perfData(2000, dims, nnz, 37), fam, k, 1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lst, rst, err := persist.CreateCross(faultfs.OS{}, dir, lg, rg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups := []*lsh.ShardGroup{lg, rg}
+		stores := [][]*persist.Store{lst, rst}
+		defer func() {
+			for _, side := range stores {
+				for _, st := range side {
+					st.Close()
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for side, g := range groups {
+				for s := 0; s < g.S(); s++ {
+					if err := stores[side][s].Checkpoint(g.Shard(s).Snapshot()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	add("cross_join_recover", func(b *testing.B) {
+		tmp, err := os.MkdirTemp("", "vsjbench-xrec-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir := tmp + "/xj"
+		right := perfData(2000, dims, nnz, 41)
+		cj, err := lshjoin.NewCrossJoin(data[:2000], right, lshjoin.Options{K: k, Seed: 7, Shards: 2, Dir: dir, PublishEvery: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Leave a published-but-not-checkpointed tail so recovery replays a
+		// real delta log, then close cleanly.
+		tail := perfData(200, dims, nnz, 43)
+		for i, v := range tail {
+			if i%2 == 0 {
+				cj.InsertLeft(v)
+			} else {
+				cj.InsertRight(v)
+			}
+		}
+		if err := cj.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := lshjoin.OpenCrossJoin(dir, lshjoin.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer() // Close re-checkpoints; keep the op pure recovery
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	// Per-insert publication on a durable collection with an aggressive
+	// rotation threshold: every few publishes switch to a fresh delta log and
+	// hand the checkpoint to the background goroutine. The measured loop is
+	// the publish tail — append + fsync only — so its ns/op must stay flat
+	// relative to publish_per_insert plus the fsync, not grow by a full
+	// snapshot encode per rotation.
+	add("publish_tail_with_rotation", func(b *testing.B) {
+		tmp, err := os.MkdirTemp("", "vsjbench-rot-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		coll, err := lshjoin.New(data[:2000], lshjoin.Options{
+			K: k, Seed: 31, Dir: tmp + "/db", PublishEvery: 1, CheckpointBytes: 64 << 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := data[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			coll.Insert(v)
+		}
+		b.StopTimer()
+		if err := coll.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return nil, err
@@ -444,6 +553,9 @@ var gatedBenchmarks = []string{
 	"snapshot_save",
 	"snapshot_load",
 	"recover_replay_1000",
+	"cross_join_checkpoint",
+	"cross_join_recover",
+	"publish_tail_with_rotation",
 }
 
 // comparePerf gates a fresh perf report against the committed baseline:

@@ -3,12 +3,12 @@ package lshjoin
 import (
 	"fmt"
 	"math/bits"
-	"slices"
-	"sync"
 	"sync/atomic"
 
 	"lshjoin/internal/core"
+	"lshjoin/internal/faultfs"
 	"lshjoin/internal/lsh"
+	"lshjoin/internal/lsh/persist"
 	"lshjoin/internal/xrand"
 )
 
@@ -33,16 +33,20 @@ type CrossJoin struct {
 	left   *lsh.ShardGroup
 	right  *lsh.ShardGroup
 
+	// Durable backing (nil for in-memory cross joins), one store per shard
+	// per side; closed flips once.
+	leftStores, rightStores []*persist.Store
+	closed                  atomic.Bool
+
 	seedCtr atomic.Uint64
 
 	// The bipartite stratum view (the bucket matchings estimates sample
-	// through) is rebuilt lazily whenever either side published; like the
-	// sharded exact-joiner cache, it is keyed on the full version-vector
-	// pair — summed versions alias across concurrent captures — and only
-	// advances to a componentwise-dominating pair.
-	stratMu          sync.Mutex
-	strat            core.BipartiteStratum
-	stratLV, stratRV []uint64
+	// through) is rebuilt lazily whenever either side published; the cache
+	// is keyed on the full version-vector pair — summed versions alias
+	// across concurrent captures — at per-shard-pair granularity, so a
+	// single-shard publish rebuilds one row of components and reuses the
+	// rest (see core.BipartiteStratumCache).
+	strat *core.BipartiteStratumCache
 }
 
 // NewCrossJoin indexes both sides with identical hash functions. Options
@@ -50,7 +54,11 @@ type CrossJoin struct {
 // is partitioned across Options.Shards index shards, default 1), and
 // Tables must be 1 — the general estimator stratifies by the single
 // bipartite bucket matching of App. B.2.2, and a multi-table request is
-// rejected with an error rather than silently discarded.
+// rejected with an error rather than silently discarded. With Options.Dir
+// set, a durable two-sided store is created there — one group store per
+// side under a cross manifest — and every published shard version on either
+// side persists across restarts; reopen with OpenCrossJoin and call Close
+// to checkpoint on shutdown.
 func NewCrossJoin(left, right []Vector, opt Options) (*CrossJoin, error) {
 	opt, err := opt.normalized()
 	if err != nil {
@@ -58,9 +66,6 @@ func NewCrossJoin(left, right []Vector, opt Options) (*CrossJoin, error) {
 	}
 	if opt.Tables != 1 {
 		return nil, fmt.Errorf("%w: cross join supports exactly 1 table, got Tables = %d (App. B.2.2 stratifies by one bipartite bucket matching)", ErrInvalidOptions, opt.Tables)
-	}
-	if opt.Dir != "" {
-		return nil, fmt.Errorf("%w: cross joins do not support durable storage (Dir)", ErrInvalidOptions)
 	}
 	if len(left) == 0 || len(right) == 0 {
 		return nil, fmt.Errorf("lshjoin: cross join needs non-empty sides")
@@ -82,7 +87,18 @@ func NewCrossJoin(left, right []Vector, opt Options) (*CrossJoin, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lshjoin: right index: %w", err)
 	}
-	return &CrossJoin{opt: opt, family: family, sim: sim, left: lg, right: rg}, nil
+	cj := &CrossJoin{
+		opt: opt, family: family, sim: sim, left: lg, right: rg,
+		strat: core.NewBipartiteStratumCache(0),
+	}
+	if opt.Dir != "" {
+		if cj.leftStores, cj.rightStores, err = persist.CreateCross(faultfs.OS{}, opt.Dir, lg, rg); err != nil {
+			return nil, fmt.Errorf("lshjoin: %w", err)
+		}
+		applyStorePolicy(opt, cj.leftStores...)
+		applyStorePolicy(opt, cj.rightStores...)
+	}
+	return cj, nil
 }
 
 // NewCrossJoinSharded is NewCrossJoin with an explicit shard count: it
@@ -182,35 +198,14 @@ func (cj *CrossJoin) maybePublishShard(g *lsh.ShardGroup, s int) {
 // stratum returns the bipartite stratum view for the captured pair,
 // reusing the cached one when neither side moved — a static corpus served
 // with repeated estimates builds the bucket matchings once, like the old
-// static cross join did at construction. The cache is served only on an
-// exact version-vector match on both sides and advances only to a pair
-// that componentwise dominates the cached one (see versionsAdvance for why
-// summed versions won't do); a reader that raced publication gets a
+// static cross join did at construction. The cache is per-shard-pair: a
+// publish on one shard rebuilds only that shard's row (or column) of
+// bipartite components, outside the lock, and the view advances only to a
+// componentwise-dominating version-vector pair (summed versions alias
+// across concurrent captures); a reader that raced publication gets a
 // correct one-off view without evicting a newer cached one.
 func (cj *CrossJoin) stratum(lgs, rgs *lsh.GroupSnapshot) (core.BipartiteStratum, error) {
-	lv, rv := lgs.Versions(), rgs.Versions()
-	cj.stratMu.Lock()
-	defer cj.stratMu.Unlock()
-	if cj.strat != nil && slices.Equal(cj.stratLV, lv) && slices.Equal(cj.stratRV, rv) {
-		return cj.strat, nil
-	}
-	bs, err := core.NewBipartiteStratum(lgs, rgs, 0)
-	if err != nil {
-		return nil, err
-	}
-	if cj.strat == nil || pairAdvances(lv, cj.stratLV, rv, cj.stratRV) {
-		cj.strat, cj.stratLV, cj.stratRV = bs, lv, rv
-	}
-	return bs, nil
-}
-
-// pairAdvances reports whether the (left, right) version-vector pair
-// (lNext, rNext) is strictly newer than (lPrev, rPrev): no component of
-// either side regressed (versionsGE) and at least one advanced.
-func pairAdvances(lNext, lPrev, rNext, rPrev []uint64) bool {
-	lok, lnew := versionsGE(lNext, lPrev)
-	rok, rnew := versionsGE(rNext, rPrev)
-	return lok && rok && (lnew || rnew)
+	return cj.strat.View(lgs, rgs)
 }
 
 // EstimateJoinSize runs the general LSH-SS estimator at tau with the default

@@ -356,29 +356,6 @@ func TestCrossJoinPublishEvery(t *testing.T) {
 	}
 }
 
-// pairAdvances extends versionsAdvance to the cross join's two-sided cache
-// key: neither side may regress and at least one component must advance.
-func TestPairAdvances(t *testing.T) {
-	v := func(xs ...uint64) []uint64 { return xs }
-	cases := []struct {
-		lNext, lPrev, rNext, rPrev []uint64
-		want                       bool
-	}{
-		{v(2, 1), v(1, 1), v(5), v(5), true},  // left advanced
-		{v(1, 1), v(1, 1), v(6), v(5), true},  // right advanced
-		{v(1, 1), v(1, 1), v(5), v(5), false}, // identical pair
-		{v(2, 1), v(1, 2), v(5), v(5), false}, // left incomparable (sum alias)
-		{v(2, 1), v(1, 1), v(4), v(5), false}, // left advanced but right regressed
-		{v(1), v(1, 1), v(5), v(5), false},    // shape mismatch
-		{v(2, 2), v(1, 1), v(6), v(5), true},  // both advanced
-	}
-	for _, c := range cases {
-		if got := pairAdvances(c.lNext, c.lPrev, c.rNext, c.rPrev); got != c.want {
-			t.Errorf("pairAdvances(%v,%v,%v,%v) = %v, want %v", c.lNext, c.lPrev, c.rNext, c.rPrev, got, c.want)
-		}
-	}
-}
-
 // Option validation: multi-table cross joins are rejected with an error
 // (the old constructor silently forced Tables to 1), as are empty sides,
 // bad measures and bad shard counts.

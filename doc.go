@@ -92,8 +92,14 @@
 // checksummed record to the log; records buffer in memory and are flushed
 // and fsynced at publish boundaries, making the published version the unit
 // of durability: once a publish returns, that version survives any crash.
-// The log rotates into a fresh checkpoint when it grows past a threshold,
-// and Close checkpoints the final version.
+//
+// Checkpoint rotation runs off the publish path. Once the delta log grows
+// past Options.CheckpointBytes (default 4 MiB), publish switches to a
+// fresh log file and hands the accumulated version to a per-store
+// background checkpointer, so the publish itself only appends and fsyncs —
+// its latency stays flat no matter how large the snapshot has grown. A
+// rotation failure surfaces as a sticky store error on the next publish,
+// and Close drains the checkpointer before writing the final checkpoint.
 //
 // Recovery loads the newest checkpoint and replays the log's valid prefix.
 // A torn tail — a record half-written when the machine died — is detected
@@ -103,10 +109,20 @@
 // a torn tail (a flipped byte mid-file, version skew between files, a
 // missing manifest over live data) refuses to load with ErrCorruptStore
 // rather than guessing. A sharded store keeps one such sub-store per shard
-// under a group manifest, and every shard recovers independently. The
-// crash-consistency property test (internal/lsh/persist) drives every
-// write through an injectable filesystem and checks exactly this contract
-// at every injection point. See examples/durable for the full lifecycle.
+// under a group manifest, and every shard recovers independently.
+//
+// Cross joins persist the same way: NewCrossJoin with Options.Dir lays out
+// one group store per side under a single CROSS manifest, written last at
+// creation so the two-sided store either fully exists or not at all.
+// OpenCrossJoin recovers both sides to a componentwise-consistent pair of
+// published version vectors and the reopened join is draw-for-draw
+// identical to the in-memory pipeline at those versions; CrossJoin.Close
+// flushes and checkpoints both sides and stamps their final version
+// vectors into the manifest. The crash-consistency property tests
+// (internal/lsh/persist) drive every write — single-store, mid-rotation
+// background-checkpoint, and two-sided cross workloads — through an
+// injectable filesystem and check exactly this contract at every injection
+// point. See examples/durable for the full lifecycle.
 //
 // # Performance
 //

@@ -3,6 +3,7 @@ package lshjoin
 import (
 	"fmt"
 
+	"lshjoin/internal/core"
 	"lshjoin/internal/faultfs"
 	"lshjoin/internal/lsh"
 	"lshjoin/internal/lsh/persist"
@@ -64,6 +65,16 @@ func reconcile(opt Options, spec lsh.FamilySpec, k, tables, shards int) (Options
 	return opt, nil
 }
 
+// applyStorePolicy folds the runtime store knobs of opt into freshly
+// created or recovered stores.
+func applyStorePolicy(opt Options, stores ...*persist.Store) {
+	if opt.CheckpointBytes > 0 {
+		for _, st := range stores {
+			st.SetCheckpointBytes(opt.CheckpointBytes)
+		}
+	}
+}
+
 // Open recovers the durable collection stored in dir: the last checkpoint
 // is loaded, the delta log's valid prefix replayed (a torn tail is
 // truncated, never served), and the resulting collection is deep-equal to
@@ -74,6 +85,7 @@ func reconcile(opt Options, spec lsh.FamilySpec, k, tables, shards int) (Options
 // store, ErrCorruptStore if its state fails validation, ErrInvalidOptions
 // on conflicting options.
 func Open(dir string, opt Options) (*Collection, error) {
+	opt.Dir = dir // before validation: Dir-dependent rejections must fire
 	opt, err := opt.validated()
 	if err != nil {
 		return nil, err
@@ -91,12 +103,12 @@ func Open(dir string, opt Options) (*Collection, error) {
 		store.Close()
 		return nil, err
 	}
-	opt.Dir = dir
 	_, sim, err := familyFor(opt)
 	if err != nil {
 		store.Close()
 		return nil, err
 	}
+	applyStorePolicy(opt, store)
 	return &Collection{
 		opt:    opt,
 		family: index.Family(),
@@ -135,6 +147,7 @@ func (c *Collection) Close() error {
 // estimates and samples exactly as the one that wrote the store. Options
 // semantics match Open, with Shards also recoverable or assertable.
 func OpenSharded(dir string, opt Options) (*ShardedCollection, error) {
+	opt.Dir = dir // before validation: Dir-dependent rejections must fire
 	opt, err := opt.validated()
 	if err != nil {
 		return nil, err
@@ -152,12 +165,12 @@ func OpenSharded(dir string, opt Options) (*ShardedCollection, error) {
 		closeAll()
 		return nil, err
 	}
-	opt.Dir = dir
 	_, sim, err := familyFor(opt)
 	if err != nil {
 		closeAll()
 		return nil, err
 	}
+	applyStorePolicy(opt, stores...)
 	return &ShardedCollection{
 		opt:    opt,
 		family: group.Family(),
@@ -165,6 +178,120 @@ func OpenSharded(dir string, opt Options) (*ShardedCollection, error) {
 		group:  group,
 		stores: stores,
 	}, nil
+}
+
+// OpenCrossJoin recovers the durable cross join stored in dir: the cross
+// manifest names the shared shape, then each side's group store recovers
+// independently — every shard to its last durably published version — so
+// the reopened join serves estimates over a componentwise-consistent
+// version-vector pair, draw-for-draw identical to the writer's own view of
+// those versions. Options semantics match OpenSharded (Tables, if asserted,
+// must be 1). Errors: ErrNoStore if dir holds no cross store,
+// ErrCorruptStore if its state fails validation, ErrInvalidOptions on
+// conflicting options.
+func OpenCrossJoin(dir string, opt Options) (*CrossJoin, error) {
+	opt.Dir = dir // before validation: Dir-dependent rejections must fire
+	opt, err := opt.validated()
+	if err != nil {
+		return nil, err
+	}
+	left, right, leftStores, rightStores, meta, err := persist.OpenCross(faultfs.OS{}, dir)
+	if err != nil {
+		return nil, fmt.Errorf("lshjoin: %w", err)
+	}
+	closeAll := func() {
+		for _, st := range leftStores {
+			st.Close()
+		}
+		for _, st := range rightStores {
+			st.Close()
+		}
+	}
+	if opt, err = reconcile(opt, meta.Family, meta.K, 1, meta.Shards); err != nil {
+		closeAll()
+		return nil, err
+	}
+	_, sim, err := familyFor(opt)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	applyStorePolicy(opt, leftStores...)
+	applyStorePolicy(opt, rightStores...)
+	return &CrossJoin{
+		opt:         opt,
+		family:      left.Family(),
+		sim:         sim,
+		left:        left,
+		right:       right,
+		leftStores:  leftStores,
+		rightStores: rightStores,
+		strat:       core.NewBipartiteStratumCache(0),
+	}, nil
+}
+
+// Close makes both sides durable at their current versions — every shard
+// publishes and checkpoints — rewrites each side's group manifest and the
+// cross manifest with the final version-vector pair, then releases the
+// stores. Semantics otherwise match Collection.Close: idempotent, trivial
+// for in-memory cross joins, and the first sticky store error is returned.
+func (cj *CrossJoin) Close() error {
+	if cj.leftStores == nil || !cj.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var cerr error
+	lvers := closeSideStores(cj.left, cj.leftStores, &cerr)
+	rvers := closeSideStores(cj.right, cj.rightStores, &cerr)
+	spec, err := lsh.SpecOf(cj.family)
+	if err == nil {
+		for _, side := range []struct {
+			left     bool
+			versions []uint64
+		}{{true, lvers}, {false, rvers}} {
+			gm := persist.GroupMeta{
+				Family: spec, K: cj.opt.K, Ell: 1,
+				Shards: cj.left.S(), Versions: side.versions,
+			}
+			if werr := persist.WriteGroupManifest(faultfs.OS{}, persist.CrossSideDir(cj.opt.Dir, side.left), gm); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if err == nil {
+			err = persist.WriteCrossManifest(faultfs.OS{}, cj.opt.Dir, persist.CrossMeta{
+				Family: spec, K: cj.opt.K, Shards: cj.left.S(),
+				LeftVersions: lvers, RightVersions: rvers,
+			})
+		}
+	}
+	if err != nil && cerr == nil {
+		cerr = err
+	}
+	for _, st := range append(append([]*persist.Store(nil), cj.leftStores...), cj.rightStores...) {
+		if err := st.Close(); err != nil && cerr == nil {
+			cerr = err
+		}
+	}
+	if cerr != nil {
+		return fmt.Errorf("lshjoin: close: %w", cerr)
+	}
+	return nil
+}
+
+// closeSideStores publishes and checkpoints every shard of one side,
+// recording the first sticky error in cerr, and returns the side's final
+// durable version vector.
+func closeSideStores(g *lsh.ShardGroup, stores []*persist.Store, cerr *error) []uint64 {
+	versions := make([]uint64, len(stores))
+	for s, st := range stores {
+		shard, store := g.Shard(s), st
+		shard.PublishAndThen(func(snap *lsh.Snapshot) {
+			if err := store.Checkpoint(snap); err != nil && *cerr == nil {
+				*cerr = err
+			}
+		})
+		versions[s] = store.DurableVersion()
+	}
+	return versions
 }
 
 // Close makes every shard durable at its current version and rewrites the

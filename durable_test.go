@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"slices"
 	"testing"
 )
 
@@ -113,6 +114,180 @@ func TestDurableRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A durable cross join abandoned without Close — the crash case — must
+// recover both sides to their last durably published versions and serve
+// draw-for-draw identical estimates: same version-vector pair, same N_H,
+// same exact join, and the same seeded estimator stream the writer would
+// have produced at those versions.
+func TestDurableCrossJoinRoundtrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "xjoin")
+	vecs := fixtureVectors(t, 280)
+	left, right := vecs[:120], vecs[120:240]
+	taus := []float64{0.3, 0.5, 0.7}
+
+	cj, err := NewCrossJoin(left, right, Options{Dir: dir, Shards: 2, K: 8, Seed: 7, PublishEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vecs[240:260] {
+		cj.InsertLeft(v)
+	}
+	for _, v := range vecs[260:] {
+		cj.InsertRight(v)
+	}
+	wantLV, wantRV := cj.LeftVersions(), cj.RightVersions()
+	wantNH := cj.PairsSharingBucket()
+	wantExact := cj.ExactJoinSize(0.6)
+	// The writer's first estimator draws (seed counter 1, 2, 3) — the stream
+	// a recovered join, whose counter restarts at zero, must reproduce.
+	wantEst := make([]float64, len(taus))
+	for i, tau := range taus {
+		if wantEst[i], err = cj.EstimateJoinSize(tau); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the writer is abandoned here, like a killed process. Every
+	// published version is already fsynced, so nothing may be lost.
+
+	r, err := OpenCrossJoin(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenCrossJoin: %v", err)
+	}
+	if r.Shards() != 2 || r.opt.K != 8 || r.opt.Seed != 7 {
+		t.Fatalf("shape not recovered: s=%d k=%d seed=%d", r.Shards(), r.opt.K, r.opt.Seed)
+	}
+	if r.LeftN() != 140 || r.RightN() != 140 {
+		t.Fatalf("sides recovered to %d/%d vectors, want 140/140", r.LeftN(), r.RightN())
+	}
+	if gotLV, gotRV := r.LeftVersions(), r.RightVersions(); !slices.Equal(gotLV, wantLV) || !slices.Equal(gotRV, wantRV) {
+		t.Fatalf("recovered version pair (%v, %v), want (%v, %v)", gotLV, gotRV, wantLV, wantRV)
+	}
+	if got := r.PairsSharingBucket(); got != wantNH {
+		t.Fatalf("recovered N_H = %d, want %d", got, wantNH)
+	}
+	if got := r.ExactJoinSize(0.6); got != wantExact {
+		t.Fatalf("recovered exact join = %d, want %d", got, wantExact)
+	}
+	for i, tau := range taus {
+		got, err := r.EstimateJoinSize(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantEst[i] {
+			t.Fatalf("recovered estimate at tau=%v: %v, want %v (draw stream diverged)", tau, got, wantEst[i])
+		}
+	}
+
+	// Mutations after recovery persist across a clean Close cycle on both
+	// sides.
+	r.InsertLeft(vecs[240])
+	r.InsertRight(vecs[260])
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	r2, err := OpenCrossJoin(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.LeftN() != 141 || r2.RightN() != 141 {
+		t.Fatalf("after second cycle sides hold %d/%d vectors, want 141/141", r2.LeftN(), r2.RightN())
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Opener error surface, matching Open/OpenSharded.
+	if _, err := OpenCrossJoin(filepath.Join(t.TempDir(), "nope"), Options{}); !errors.Is(err, ErrNoStore) {
+		t.Errorf("OpenCrossJoin of missing dir: got %v, want ErrNoStore", err)
+	}
+	if _, err := NewCrossJoin(left, right, Options{Dir: dir}); !errors.Is(err, ErrStoreExists) {
+		t.Errorf("NewCrossJoin over existing store: got %v, want ErrStoreExists", err)
+	}
+	if _, err := OpenCrossJoin(dir, Options{Shards: 3}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("shard-count conflict: got %v, want ErrInvalidOptions", err)
+	}
+	if _, err := OpenCrossJoin(dir, Options{Tables: 2}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Tables=2 against a cross store: got %v, want ErrInvalidOptions", err)
+	}
+}
+
+// Options.CheckpointBytes must reach every store a constructor or opener
+// touches — single, sharded and both cross-join sides.
+func TestCheckpointBytesRoundtrip(t *testing.T) {
+	vecs := fixtureVectors(t, 64)
+	const threshold = 1 << 12
+
+	dir := filepath.Join(t.TempDir(), "plain")
+	c, err := New(vecs, Options{Dir: dir, CheckpointBytes: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.store.CheckpointBytes(); got != threshold {
+		t.Fatalf("New store threshold %d, want %d", got, threshold)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err = Open(dir, Options{CheckpointBytes: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.store.CheckpointBytes(); got != threshold {
+		t.Fatalf("Open store threshold %d, want %d", got, threshold)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sdir := filepath.Join(t.TempDir(), "group")
+	sc, err := NewSharded(vecs, Options{Dir: sdir, Shards: 2, CheckpointBytes: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err = OpenSharded(sdir, Options{CheckpointBytes: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, st := range sc.stores {
+		if got := st.CheckpointBytes(); got != threshold {
+			t.Fatalf("sharded store %d threshold %d, want %d", s, got, threshold)
+		}
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	xdir := filepath.Join(t.TempDir(), "xjoin")
+	cj, err := NewCrossJoin(vecs[:32], vecs[32:], Options{Dir: xdir, Shards: 2, CheckpointBytes: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cj, err = OpenCrossJoin(xdir, Options{CheckpointBytes: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range cj.leftStores {
+		if got := cj.leftStores[s].CheckpointBytes(); got != threshold {
+			t.Fatalf("cross left store %d threshold %d, want %d", s, got, threshold)
+		}
+		if got := cj.rightStores[s].CheckpointBytes(); got != threshold {
+			t.Fatalf("cross right store %d threshold %d, want %d", s, got, threshold)
+		}
+	}
+	if err := cj.Close(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -183,6 +183,17 @@ type MergedBipartiteStratum struct {
 // O(S_left·S_right·#buckets) — so estimators build it once and sample many
 // times. Both groups must be hashed with the same family and k.
 func NewMergedBipartiteStratum(left, right *lsh.GroupSnapshot, t int) (*MergedBipartiteStratum, error) {
+	return newMergedBipartiteStratumReuse(left, right, t, nil)
+}
+
+// newMergedBipartiteStratumReuse is NewMergedBipartiteStratum with component
+// reuse: when reuse is non-nil, reuse(a, b) may return an already-built
+// bipartite matching for shard pair (a, b) — valid only if both shards'
+// snapshots are unchanged, which the caller is responsible for checking by
+// version — and nil to build fresh. Offsets and cumulative weights are
+// always reassembled from the given snapshots, since a publish on one shard
+// shifts every later shard's dense offset.
+func newMergedBipartiteStratumReuse(left, right *lsh.GroupSnapshot, t int, reuse func(a, b int) *lsh.Bipartite) (*MergedBipartiteStratum, error) {
 	if err := lsh.CompatibleCross(left, right); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -192,9 +203,16 @@ func NewMergedBipartiteStratum(left, right *lsh.GroupSnapshot, t int) (*MergedBi
 	ms := &MergedBipartiteStratum{left: left, right: right, t: t}
 	for a := 0; a < left.S(); a++ {
 		for b := 0; b < right.S(); b++ {
-			bp, err := lsh.NewBipartite(left.Snap(a), right.Snap(b), t)
-			if err != nil {
-				return nil, err
+			var bp *lsh.Bipartite
+			if reuse != nil {
+				bp = reuse(a, b)
+			}
+			if bp == nil {
+				var err error
+				bp, err = lsh.NewBipartite(left.Snap(a), right.Snap(b), t)
+				if err != nil {
+					return nil, err
+				}
 			}
 			ms.comps = append(ms.comps, crossComponent{bp: bp, offL: left.Offset(a), offR: right.Offset(b)})
 		}

@@ -41,6 +41,7 @@ const (
 	snapMagic     = "LSHSNAP1"
 	manifestMagic = "LSHMAN1\n"
 	groupMagic    = "LSHGRP1\n"
+	crossMagic    = "LSHXJN1\n"
 	walMagic      = "LSHWAL1\n"
 
 	secMeta  = uint32(1)
@@ -559,6 +560,106 @@ func decodeGroupManifest(data []byte) (GroupMeta, error) {
 	}
 	if c.rem() != 0 {
 		return m, corrupt("persist: %d trailing bytes in group manifest", c.rem())
+	}
+	return m, nil
+}
+
+// CrossMeta is the two-sided (cross-join) store's CROSS manifest: the
+// hashing parameters shared by both sides plus the per-shard snapshot
+// version vector of each side at the last cross write (informational —
+// each side's group store is authoritative for recovery). Cross joins
+// stratify by a single bipartite matching, so ℓ is always 1.
+type CrossMeta struct {
+	Family lsh.FamilySpec
+	K      int
+	Shards int // per side
+	LeftVersions,
+	RightVersions []uint64
+}
+
+// encodeCrossManifest frames a CrossMeta.
+func encodeCrossManifest(m CrossMeta) []byte {
+	buf := []byte(crossMagic)
+	buf = binary.AppendUvarint(buf, formatVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Family.Name)))
+	buf = append(buf, m.Family.Name...)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Family.Seed)
+	buf = binary.AppendUvarint(buf, uint64(m.Family.Bits))
+	buf = binary.AppendUvarint(buf, uint64(m.K))
+	buf = binary.AppendUvarint(buf, uint64(m.Shards))
+	for _, side := range [][]uint64{m.LeftVersions, m.RightVersions} {
+		for s := 0; s < m.Shards; s++ {
+			v := uint64(0)
+			if s < len(side) {
+				v = side[s]
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// decodeCrossManifest inverts encodeCrossManifest.
+func decodeCrossManifest(data []byte) (CrossMeta, error) {
+	var m CrossMeta
+	if len(data) < len(crossMagic)+4 || string(data[:len(crossMagic)]) != crossMagic {
+		return m, corrupt("persist: bad cross manifest")
+	}
+	body := data[:len(data)-4]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return m, corrupt("persist: cross manifest checksum mismatch")
+	}
+	c := &cursor{data: body, off: len(crossMagic)}
+	fv, err := c.uvarint()
+	if err != nil {
+		return m, err
+	}
+	if fv != formatVersion {
+		return m, corrupt("persist: unsupported cross format version %d", fv)
+	}
+	nameLen, err := c.uvarint()
+	if err != nil {
+		return m, err
+	}
+	if nameLen > maxNameLen {
+		return m, corrupt("persist: family name length %d", nameLen)
+	}
+	name, err := c.bytes(int(nameLen))
+	if err != nil {
+		return m, err
+	}
+	m.Family.Name = string(name)
+	if m.Family.Seed, err = c.u64(); err != nil {
+		return m, err
+	}
+	bits, err := c.uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.Family.Bits = int(bits)
+	k, err := c.uvarint()
+	if err != nil {
+		return m, err
+	}
+	shards, err := c.uvarint()
+	if err != nil {
+		return m, err
+	}
+	if k < 1 || k > maxK || shards < 1 || shards > lsh.MaxShards {
+		return m, corrupt("persist: cross parameters out of range")
+	}
+	m.K, m.Shards = int(k), int(shards)
+	m.LeftVersions = make([]uint64, m.Shards)
+	m.RightVersions = make([]uint64, m.Shards)
+	for _, side := range [][]uint64{m.LeftVersions, m.RightVersions} {
+		for s := 0; s < m.Shards; s++ {
+			if side[s], err = c.u64(); err != nil {
+				return m, err
+			}
+		}
+	}
+	if c.rem() != 0 {
+		return m, corrupt("persist: %d trailing bytes in cross manifest", c.rem())
 	}
 	return m, nil
 }

@@ -34,6 +34,11 @@ func fuzzSeedBlobs(tb testing.TB) [][]byte {
 		Family: lsh.FamilySpec{Name: "simhash", Seed: 9, Bits: 1},
 		K:      4, Ell: 2, Shards: 3, Versions: []uint64{1, 2, 3},
 	}))
+	blobs = append(blobs, encodeCrossManifest(CrossMeta{
+		Family: lsh.FamilySpec{Name: "simhash", Seed: 11, Bits: 1},
+		K:      4, Shards: 2,
+		LeftVersions: []uint64{2, 5}, RightVersions: []uint64{3, 1},
+	}))
 	return blobs
 }
 
@@ -57,6 +62,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 		}
 		decodeManifest(data)
 		decodeGroupManifest(data)
+		decodeCrossManifest(data)
 		scanWAL(data, 1)
 	})
 }

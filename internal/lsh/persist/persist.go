@@ -6,7 +6,7 @@
 //
 //	MANIFEST        names the latest durable checkpoint version v
 //	snap-<v>.lsnap  the checkpointed snapshot (format.go)
-//	wal-<v>.log     the pending-delta log extending checkpoint v (wal.go)
+//	wal-<v>.log     a delta log whose records extend version v (wal.go)
 //
 // Checkpoints are written cold-path atomic: snapshot to a temp file, fsync,
 // rename, directory fsync, then the manifest the same way, then a fresh
@@ -19,6 +19,17 @@
 // which reproduces the exact merge sequence of the original process, so the
 // reopened index is deep-equal to the last durable publish, SamplePair
 // draw-for-draw included.
+//
+// Checkpoint rotation runs off the publish path. When RetainedBytes — the
+// record bytes a recovery would replay — outgrows the threshold, the
+// publishing goroutine only switches logs: it seals the current log (whose
+// final record is the publish marker of version v), starts wal-<v>, and
+// hands the published snapshot to a per-store checkpointer goroutine that
+// encodes and commits snap-<v> + MANIFEST in the background. Until that
+// commit lands, the durable state is a chain — checkpoint, sealed log(s),
+// live log — and Open replays the chain link by link: a sealed log ends
+// with the publish marker of the next link's base. Publish latency therefore
+// stays flat at "append + fsync" no matter how large snapshots grow.
 //
 // Failure handling is sticky: the first log write or sync error disables
 // further appends (a half-written record must never be followed by a valid
@@ -33,6 +44,8 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 
 	"lshjoin/internal/faultfs"
@@ -54,10 +67,12 @@ var (
 const (
 	manifestName = "MANIFEST"
 	groupName    = "GROUP"
+	crossName    = "CROSS"
 
 	// DefaultCheckpointBytes caps delta-log growth: once a publish leaves
-	// the log larger than this, the store checkpoints inline, bounding
-	// both recovery replay time and disk usage.
+	// more than this many record bytes beyond the manifest checkpoint
+	// (RetainedBytes), the store switches logs and checkpoints in the
+	// background, bounding both recovery replay time and disk usage.
 	DefaultCheckpointBytes = 4 << 20
 
 	// maxBatchRecVectors splits large InsertBatch calls across several log
@@ -67,6 +82,18 @@ const (
 
 func snapName(v uint64) string { return fmt.Sprintf("snap-%016x.lsnap", v) }
 func walName(v uint64) string  { return fmt.Sprintf("wal-%016x.log", v) }
+
+// walBaseFromName inverts walName, so cleanup can tell chain links (base at
+// or after the manifest checkpoint) from superseded generations.
+func walBaseFromName(name string) (uint64, bool) {
+	const pre, suf = "wal-", ".log"
+	if len(name) != len(pre)+16+len(suf) ||
+		!strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(pre):len(pre)+16], 16, 64)
+	return v, err == nil
+}
 
 // Store is the durable backing of one lsh.Index. It implements
 // lsh.WriteHook; install it with idx.SetWriteHook (Create and Open do).
@@ -81,15 +108,26 @@ type Store struct {
 	fs  faultfs.FS
 	dir string
 
+	// ckptMu serializes checkpoint commits — the inline Checkpoint and the
+	// background checkpointer both write snap + MANIFEST and clean up under
+	// it, so a lagging background commit can never regress the manifest
+	// past a newer inline checkpoint. Lock order: ckptMu before mu.
+	ckptMu sync.Mutex
+
 	mu              sync.Mutex
 	wal             faultfs.File
-	walBase         uint64 // checkpoint version the current log extends
-	walLen          int    // bytes written to the log, header included
+	walBase         uint64 // version the current (live) log extends
+	walLen          int    // bytes written to the live log, header included
 	durable         uint64 // last version known durable
+	ckptVer         uint64 // version the MANIFEST names
+	retained        int64  // record bytes a recovery would replay (all chain links)
 	buf             []byte // records encoded but not yet written
-	err             error  // sticky first failure; cleared by checkpoint
+	err             error  // sticky first failure; cleared by inline checkpoint
 	closed          bool
 	checkpointBytes int
+	rotating        bool // a background checkpoint is signaled or running
+	ckptC           chan *lsh.Snapshot
+	ckptDone        chan struct{}
 }
 
 // Create initializes a fresh store in dir from the index's current state
@@ -106,9 +144,11 @@ func Create(fsys faultfs.FS, dir string, idx *lsh.Index) (*Store, error) {
 		return nil, fmt.Errorf("persist: create %s: %w", dir, err)
 	}
 	st := &Store{fs: fsys, dir: dir, checkpointBytes: DefaultCheckpointBytes}
+	st.ckptMu.Lock()
 	st.mu.Lock()
 	err := st.checkpointLocked(idx.Snapshot())
 	st.mu.Unlock()
+	st.ckptMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -153,40 +193,82 @@ func Open(fsys faultfs.FS, dir string) (*lsh.Index, *Store, error) {
 
 	st := &Store{
 		fs: fsys, dir: dir,
-		walBase: v, durable: v,
+		walBase: v, durable: v, ckptVer: v,
 		checkpointBytes: DefaultCheckpointBytes,
 	}
-	wpath := filepath.Join(dir, walName(v))
-	wdata, err := fsys.ReadFile(wpath)
-	switch {
-	case faultfs.IsNotExist(err):
-		wdata = nil // crashed between manifest and log creation: empty log
-	case err != nil:
-		return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
-	}
-	recs, validLen, err := scanWAL(wdata, v)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := replay(idx, st, recs); err != nil {
-		return nil, nil, err
-	}
-	// Make the truncation durable before appending anything: rewrite the
-	// valid prefix (or a fresh header) atomically, then reopen for append.
-	if validLen < len(wdata) || len(wdata) < walHeaderLen {
-		prefix := wdata[:validLen]
-		if validLen == 0 {
-			prefix = appendWalHeader(nil, v)
+	// Replay the log chain. A background checkpoint that had not committed
+	// by the crash leaves the manifest one or more log switches behind: the
+	// log at the manifest version is sealed (its final record is the
+	// publish marker of the next link's base) and the chain continues in
+	// wal-<that version>, ending at the live log.
+	for base := v; ; {
+		wpath := filepath.Join(dir, walName(base))
+		wdata, err := fsys.ReadFile(wpath)
+		switch {
+		case faultfs.IsNotExist(err):
+			wdata = nil // crashed between manifest/switch and log creation: empty log
+		case err != nil:
+			return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
 		}
-		if err := st.writeFileSync(walName(v), prefix); err != nil {
+		recs, validLen, err := scanWAL(wdata, base)
+		if err != nil {
 			return nil, nil, err
 		}
-		st.walLen = len(prefix)
-	} else {
-		st.walLen = validLen
+		if err := replay(idx, st, recs); err != nil {
+			return nil, nil, err
+		}
+		if validLen > walHeaderLen {
+			st.retained += int64(validLen - walHeaderLen)
+		}
+		torn := validLen < len(wdata) || len(wdata) < walHeaderLen
+		if next := st.durable; next != base {
+			if _, err := fsys.ReadFile(filepath.Join(dir, walName(next))); err == nil {
+				// A successor exists, so this log was sealed by a log
+				// switch and never appended to again; every byte of it was
+				// fsynced. A torn tail here is damage, not a crash.
+				if torn {
+					return nil, nil, corrupt("persist: sealed delta log %s has a torn tail", walName(base))
+				}
+				base = next
+				continue
+			} else if !faultfs.IsNotExist(err) {
+				return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
+			}
+		}
+		// Live tail of the chain. Make the truncation durable before
+		// appending anything: rewrite the valid prefix (or a fresh header)
+		// atomically, then reopen for append.
+		if torn {
+			prefix := wdata[:validLen]
+			if validLen == 0 {
+				prefix = appendWalHeader(nil, base)
+			}
+			if err := st.writeFileSync(walName(base), prefix); err != nil {
+				return nil, nil, err
+			}
+			st.walLen = len(prefix)
+		} else {
+			st.walLen = validLen
+		}
+		st.walBase = base
+		if st.wal, err = fsys.Append(wpath); err != nil {
+			return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
+		}
+		break
 	}
-	if st.wal, err = fsys.Append(wpath); err != nil {
+	// Every log switch seals its predecessor with a publish marker, so a
+	// log based past the recovered version means the replayable prefix of
+	// some sealed link lost fsynced records — damage, not a crash.
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		st.wal.Close()
 		return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
+	}
+	for _, name := range names {
+		if b, ok := walBaseFromName(name); ok && b > st.durable {
+			st.wal.Close()
+			return nil, nil, corrupt("persist: delta log %s extends past recovered version %d", name, st.durable)
+		}
 	}
 	idx.SetWriteHook(st)
 	return idx, st, nil
@@ -249,12 +331,30 @@ func (st *Store) DurableVersion() uint64 {
 	return st.durable
 }
 
-// SetCheckpointBytes overrides DefaultCheckpointBytes (0 disables inline
+// RetainedBytes reports the delta-log record bytes a recovery would have to
+// replay on top of the manifest checkpoint — every chain link counted, not
+// just the live log. It is the rotation pressure: once it passes the
+// checkpoint threshold, the next publish switches logs and checkpoints in
+// the background.
+func (st *Store) RetainedBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.retained
+}
+
+// SetCheckpointBytes overrides DefaultCheckpointBytes (0 disables background
 // checkpointing).
 func (st *Store) SetCheckpointBytes(n int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.checkpointBytes = n
+}
+
+// CheckpointBytes returns the rotation threshold currently in force.
+func (st *Store) CheckpointBytes() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.checkpointBytes
 }
 
 // OnInsert implements lsh.WriteHook.
@@ -284,9 +384,10 @@ func (st *Store) OnInsertBatch(first int, vs []vecmath.Vector) {
 
 // OnPublish implements lsh.WriteHook: the publish marker is appended and
 // the whole buffer flushed + fsynced, making the new version durable. When
-// the log has outgrown the checkpoint threshold, the store checkpoints
-// inline (the callback runs under the index writer lock, so the snapshot is
-// guaranteed current).
+// the retained record bytes have outgrown the checkpoint threshold, the
+// store switches to a fresh log (cheap: create + header + fsync) and hands
+// the snapshot to the background checkpointer — the expensive snapshot
+// encode and write never run on the publish path.
 func (st *Store) OnPublish(s *lsh.Snapshot) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -299,10 +400,12 @@ func (st *Store) OnPublish(s *lsh.Snapshot) {
 		return
 	}
 	st.durable = s.Version()
-	if st.checkpointBytes > 0 && st.walLen > st.checkpointBytes {
-		if err := st.checkpointLocked(s); err != nil {
+	if st.checkpointBytes > 0 && st.retained > int64(st.checkpointBytes) && !st.rotating {
+		if err := st.switchLogLocked(s.Version()); err != nil {
 			st.err = err
+			return
 		}
+		st.signalCheckpointLocked(s)
 	}
 }
 
@@ -317,12 +420,117 @@ func (st *Store) flushLocked() error {
 		return fmt.Errorf("persist: delta log write: %w", err)
 	}
 	st.walLen += n
+	st.retained += int64(n)
 	st.buf = st.buf[:0]
 	if err := st.wal.Sync(); err != nil {
 		st.buf = nil
 		return fmt.Errorf("persist: delta log sync: %w", err)
 	}
 	return nil
+}
+
+// switchLogLocked seals the current log — its final record is the publish
+// marker of v, just flushed — and starts wal-<v> as the live log. The new
+// log is created, headered, fsynced and its directory entry synced before
+// the old handle is released, so the chain on disk is never broken. A
+// failure here is sticky: appending to the old log after a half-created
+// successor exists would make recovery ambiguous.
+func (st *Store) switchLogLocked(v uint64) error {
+	if v == st.walBase {
+		return nil
+	}
+	f, err := st.fs.Create(filepath.Join(st.dir, walName(v)))
+	if err != nil {
+		return fmt.Errorf("persist: create delta log: %w", err)
+	}
+	hdr := appendWalHeader(nil, v)
+	if _, err = f.Write(hdr); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("persist: init delta log: %w", err)
+	}
+	if err := st.fs.SyncDir(st.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: sync store dir: %w", err)
+	}
+	if st.wal != nil {
+		st.wal.Close()
+	}
+	st.wal, st.walBase, st.walLen = f, v, len(hdr)
+	return nil
+}
+
+// signalCheckpointLocked hands s to the per-store checkpointer goroutine,
+// starting it on first use. The rotating flag guarantees at most one
+// outstanding signal, so the buffered send never blocks the publish path.
+func (st *Store) signalCheckpointLocked(s *lsh.Snapshot) {
+	if st.ckptC == nil {
+		st.ckptC = make(chan *lsh.Snapshot, 1)
+		st.ckptDone = make(chan struct{})
+		go st.checkpointer(st.ckptC, st.ckptDone)
+	}
+	st.rotating = true
+	st.ckptC <- s
+}
+
+// checkpointer is the background goroutine: one commit at a time, exits
+// when Close drains the channel.
+func (st *Store) checkpointer(c chan *lsh.Snapshot, done chan struct{}) {
+	defer close(done)
+	for s := range c {
+		st.backgroundCheckpoint(s)
+		st.mu.Lock()
+		st.rotating = false
+		st.mu.Unlock()
+	}
+}
+
+// backgroundCheckpoint commits s — already sealed into the log chain by a
+// log switch — as the manifest checkpoint. It never touches the live log
+// and never clears a sticky error: the active log may hold the very torn
+// record the error is about, and only an inline Checkpoint (which cuts a
+// fresh log) supersedes it. Failures set the sticky error; the store then
+// freezes at its current durable version, which recovery serves exactly.
+func (st *Store) backgroundCheckpoint(s *lsh.Snapshot) {
+	v := s.Version()
+	blob, err := encodeSnapshot(s)
+	if err != nil {
+		st.setErr(err)
+		return
+	}
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	st.mu.Lock()
+	stale := st.ckptVer >= v
+	st.mu.Unlock()
+	if stale {
+		return // a newer inline checkpoint already committed
+	}
+	if err := st.writeFileSync(snapName(v), blob); err != nil {
+		st.setErr(err)
+		return
+	}
+	if err := st.writeFileSync(manifestName, encodeManifest(v)); err != nil {
+		st.setErr(err)
+		return
+	}
+	st.mu.Lock()
+	st.ckptVer = v
+	if st.walBase == v {
+		st.retained = int64(st.walLen - walHeaderLen)
+	}
+	st.mu.Unlock()
+	st.cleanup(v)
+}
+
+func (st *Store) setErr(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
 }
 
 // Checkpoint persists s as a fresh durable checkpoint and resets the delta
@@ -332,11 +540,14 @@ func (st *Store) flushLocked() error {
 // clears a sticky error: the snapshot supersedes whatever the broken log
 // was missing.
 func (st *Store) Checkpoint(s *lsh.Snapshot) error {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.checkpointLocked(s)
 }
 
+// checkpointLocked runs with both ckptMu and mu held.
 func (st *Store) checkpointLocked(s *lsh.Snapshot) error {
 	if st.closed {
 		return fmt.Errorf("persist: store is closed")
@@ -385,22 +596,33 @@ func (st *Store) checkpointLocked(s *lsh.Snapshot) error {
 	st.wal, st.walBase, st.walLen = f, v, len(hdr)
 	st.buf = nil
 	st.durable = v
+	st.ckptVer = v
+	st.retained = 0
 	st.err = nil
-	st.cleanupLocked(v)
+	st.cleanup(v)
 	return nil
 }
 
-// cleanupLocked removes snapshots and logs from before the checkpoint at
-// keep, best-effort: failures leave garbage files, never inconsistency.
-func (st *Store) cleanupLocked(keep uint64) {
+// cleanup removes snapshots and logs superseded by the checkpoint at keep
+// — chain links whose base is at or after keep stay — best-effort:
+// failures leave garbage files, never inconsistency. Callers hold ckptMu,
+// so no checkpoint commit has a temp file in flight.
+func (st *Store) cleanup(keep uint64) {
 	names, err := st.fs.ReadDir(st.dir)
 	if err != nil {
 		return
 	}
 	for _, name := range names {
-		stale := (filepath.Ext(name) == ".lsnap" && name != snapName(keep)) ||
-			(filepath.Ext(name) == ".log" && name != walName(keep)) ||
-			filepath.Ext(name) == ".tmp"
+		var stale bool
+		switch filepath.Ext(name) {
+		case ".lsnap":
+			stale = name != snapName(keep)
+		case ".log":
+			base, ok := walBaseFromName(name)
+			stale = !ok || base < keep
+		case ".tmp":
+			stale = true
+		}
 		if stale {
 			st.fs.Remove(filepath.Join(st.dir, name))
 		}
@@ -435,17 +657,28 @@ func (st *Store) writeFileSync(name string, data []byte) error {
 	return nil
 }
 
-// Close releases the log handle and reports the sticky error, if any. It
-// does not checkpoint — callers that want shutdown durability checkpoint
-// first via idx.PublishAndThen (the public Collection.Close does). Close is
-// idempotent; a closed store ignores further hook callbacks.
+// Close drains the background checkpointer (a signaled rotation finishes
+// committing), releases the log handle and reports the sticky error, if
+// any. It does not checkpoint — callers that want shutdown durability
+// checkpoint first via idx.PublishAndThen (the public Collection.Close
+// does). Close is idempotent; a closed store ignores further hook
+// callbacks.
 func (st *Store) Close() error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
+		st.mu.Unlock()
 		return nil
 	}
 	st.closed = true
+	c, done := st.ckptC, st.ckptDone
+	st.ckptC, st.ckptDone = nil, nil
+	st.mu.Unlock()
+	if c != nil {
+		close(c)
+		<-done
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.wal != nil {
 		st.wal.Close()
 		st.wal = nil

@@ -73,14 +73,21 @@ type Options struct {
 	// NewSharded and NewCrossJoin with Shards == 1 behave draw-for-draw
 	// identically to New and the static single-snapshot cross join.
 	Shards int
-	// Dir, when non-empty, makes the collection durable: New and NewSharded
-	// create a crash-safe store there (one sub-store per shard for a sharded
-	// collection) and every published version is persisted — checkpointed
-	// snapshots plus an fsynced delta log. Reopen with Open or OpenSharded;
-	// call Close to checkpoint on shutdown. See the durability section of
-	// the package documentation for the exact guarantees. NewCrossJoin does
-	// not support Dir yet and rejects it.
+	// Dir, when non-empty, makes the collection durable: New, NewSharded and
+	// NewCrossJoin create a crash-safe store there (one sub-store per shard
+	// for a sharded collection; two group stores under one cross manifest for
+	// a cross join) and every published version is persisted — checkpointed
+	// snapshots plus an fsynced delta log. Reopen with Open, OpenSharded or
+	// OpenCrossJoin; call Close to checkpoint on shutdown. See the durability
+	// section of the package documentation for the exact guarantees.
 	Dir string
+	// CheckpointBytes tunes the background checkpoint threshold of a durable
+	// collection: once the delta-log bytes a recovery would replay exceed it,
+	// the next publish switches to a fresh log and a background goroutine
+	// checkpoints the published snapshot — the publish path itself never
+	// writes a checkpoint. 0 keeps the store default (4 MiB); negative is
+	// rejected. In-memory collections ignore it.
+	CheckpointBytes int
 	// Float32Signing switches cosine batch builds (and the single-vector
 	// hashing that must agree with them) to the float32 projection lane:
 	// half the signing cache footprint and memory bandwidth, at the cost of
@@ -183,6 +190,7 @@ func New(vectors []Vector, opt Options) (*Collection, error) {
 		if c.store, err = persist.Create(faultfs.OS{}, opt.Dir, index); err != nil {
 			return nil, fmt.Errorf("lshjoin: %w", err)
 		}
+		applyStorePolicy(opt, c.store)
 	}
 	return c, nil
 }

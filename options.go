@@ -54,6 +54,9 @@ func (o Options) validated() (Options, error) {
 	if o.SignPanelBytes < 0 {
 		return o, fmt.Errorf("%w: SignPanelBytes = %d is negative", ErrInvalidOptions, o.SignPanelBytes)
 	}
+	if o.CheckpointBytes < 0 {
+		return o, fmt.Errorf("%w: CheckpointBytes = %d is negative", ErrInvalidOptions, o.CheckpointBytes)
+	}
 	if o.Float32Signing && o.Dir != "" {
 		return o, fmt.Errorf("%w: Float32Signing is not supported with durable storage (Dir): the store does not persist the signing lane yet", ErrInvalidOptions)
 	}

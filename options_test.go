@@ -25,6 +25,7 @@ func TestInvalidOptionsSentinel(t *testing.T) {
 		{"unknown_measure", Options{Measure: Measure(42)}},
 		{"too_many_shards", Options{Shards: lsh.MaxShards + 1}},
 		{"negative_sign_panel", Options{SignPanelBytes: -1}},
+		{"negative_checkpoint_bytes", Options{CheckpointBytes: -1}},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
@@ -49,11 +50,23 @@ func TestInvalidOptionsConstructorSpecific(t *testing.T) {
 	if _, err := NewCrossJoin(left, right, Options{Tables: 2}); !errors.Is(err, ErrInvalidOptions) {
 		t.Errorf("cross join with Tables=2: got %v, want ErrInvalidOptions", err)
 	}
-	if _, err := NewCrossJoin(left, right, Options{Dir: t.TempDir()}); !errors.Is(err, ErrInvalidOptions) {
-		t.Errorf("cross join with Dir: got %v, want ErrInvalidOptions", err)
-	}
 	if _, err := New(vecs, Options{Dir: t.TempDir(), Float32Signing: true}); !errors.Is(err, ErrInvalidOptions) {
 		t.Errorf("durable collection with Float32Signing: got %v, want ErrInvalidOptions", err)
+	}
+	// The same Dir-dependent rejection must fire on the durable cross-join
+	// path (NewCrossJoin accepts Dir since cross joins became durable) and on
+	// every opener, where Dir arrives as an argument rather than an option.
+	if _, err := NewCrossJoin(left, right, Options{Dir: t.TempDir(), Float32Signing: true}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("durable cross join with Float32Signing: got %v, want ErrInvalidOptions", err)
+	}
+	if _, err := Open(t.TempDir(), Options{Float32Signing: true}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Open with Float32Signing: got %v, want ErrInvalidOptions", err)
+	}
+	if _, err := OpenSharded(t.TempDir(), Options{Float32Signing: true}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("OpenSharded with Float32Signing: got %v, want ErrInvalidOptions", err)
+	}
+	if _, err := OpenCrossJoin(t.TempDir(), Options{Float32Signing: true}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("OpenCrossJoin with Float32Signing: got %v, want ErrInvalidOptions", err)
 	}
 }
 

@@ -88,6 +88,7 @@ func NewSharded(vectors []Vector, opt Options) (*ShardedCollection, error) {
 		if c.stores, err = persist.CreateGroup(faultfs.OS{}, opt.Dir, group); err != nil {
 			return nil, fmt.Errorf("lshjoin: %w", err)
 		}
+		applyStorePolicy(opt, c.stores...)
 	}
 	return c, nil
 }
@@ -239,9 +240,10 @@ func (c *ShardedCollection) exactJoiner() (*exactjoin.Joiner, *lsh.GroupSnapshot
 }
 
 // versionsGE is the componentwise comparison under version-vector caches
-// (the exact joiner above, the cross join's stratum cache): ok reports
-// next ≥ prev in every component with matching shapes, newer whether some
-// component strictly advanced.
+// (the exact joiner above; the cross join's stratum cache uses the same
+// rule via core.BipartiteStratumCache): ok reports next ≥ prev in every
+// component with matching shapes, newer whether some component strictly
+// advanced.
 func versionsGE(next, prev []uint64) (ok, newer bool) {
 	if len(next) != len(prev) {
 		return false, false
