@@ -124,6 +124,32 @@
 // injectable filesystem and check exactly this contract at every injection
 // point. See examples/durable for the full lifecycle.
 //
+// # Network serving
+//
+// The sharded pipeline also runs across processes. A ShardServer owns one
+// shard — an index, optionally durable via Options.Dir — and serves a small
+// length-prefixed binary protocol over TCP (DESIGN.md documents the wire
+// format): streamed ingest, snapshot fetches with a version-checked
+// not-modified fast path, summary digests, and server-side sample batches.
+// Connect dials S such servers and returns a RemoteCollection mirroring
+// ShardedCollection's estimate surface: inserts route to their home shard
+// with the same content hashing, reads fetch per-shard snapshots in
+// parallel (cached by version), reassemble the group view, and run the
+// merged estimators locally under the identical seed-stream discipline.
+// A distributed estimate is therefore bit-equal — not approximately equal —
+// to the in-process sharded one for the same vectors, options and
+// estimator seeds; a property test pins this over real sockets for all ten
+// algorithms, and VerifyShardSampling cross-checks a live server's sample
+// stream draw for draw.
+//
+// Failures are typed and bounded: a shard that cannot be reached within
+// the call timeout (after deterministic-backoff retries) fails the read
+// with ErrShardUnavailable, a malformed or mismatched response fails it
+// with ErrShardProtocol, and there are never partial estimates over a
+// subset of shards. Ingest is not replayed once its bytes may have reached
+// a server. See cmd/vsjserve (serve / coordinate / loadgen; the loadgen
+// baseline is tracked in BENCH_serve.json) and examples/netserve.
+//
 // # Performance
 //
 // Index construction and bulk loading run through a batched signature

@@ -84,7 +84,7 @@ func (s *Suite) Env(kind dataset.Kind, k, ell int) (*Env, error) {
 // Runner executes one experiment.
 type Runner func(*Suite) ([]*Table, error)
 
-// Registry maps experiment IDs (DESIGN.md §5) to runners.
+// Registry maps experiment IDs (documented in EXPERIMENTS.md) to runners.
 func Registry() map[string]Runner {
 	return map[string]Runner{
 		"table1":   func(s *Suite) ([]*Table, error) { return s.Table1() },

@@ -200,10 +200,7 @@ func (g *ShardGroup) Shard(s int) *Index { return g.shards[s] }
 
 // Route returns the home shard of v under consistent key-hash routing.
 func (g *ShardGroup) Route(v vecmath.Vector) int {
-	if len(g.shards) == 1 {
-		return 0
-	}
-	return jumpHash(contentKey(v), len(g.shards))
+	return RouteVector(v, len(g.shards))
 }
 
 // Insert routes v to its home shard and appends it there, returning the

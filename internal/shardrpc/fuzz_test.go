@@ -1,0 +1,57 @@
+package shardrpc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"lshjoin/internal/lsh"
+)
+
+// FuzzFrameDecode drives the frame decoder — the first code that touches
+// every byte arriving from the network — with arbitrary input: it must
+// never panic, must type every structural failure as ErrProtocol (i/o
+// truncation excepted), and on success must round-trip. Decoded payloads
+// are then pushed through every response decoder, which must be equally
+// panic-free on arbitrary bytes.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, THello, encodeHelloReq()))
+	f.Add(AppendFrame(nil, THelloOK, encodeHelloResp(Hello{
+		Family: lsh.FamilySpec{Name: "simhash", Seed: 7, Bits: 1}, K: 6, Ell: 3, Version: 1,
+	})))
+	f.Add(AppendFrame(nil, TSnapshotOK, encodeSnapshotResp(3, []byte("blob"))))
+	f.Add(AppendFrame(nil, TStatsOK, encodeStatsResp(2, lsh.SnapshotSummary{N: 4, TableNH: []int64{6, 0, 1}})))
+	f.Add(AppendFrame(nil, TSampleOK, encodeSampleResp(2, [][2]int32{{0, 3}, {1, 2}})))
+	f.Add(AppendFrame(nil, TErr, encodeErrResp(CodeBadRequest, "nope")))
+	f.Add([]byte("LSHRPC1\n"))
+	corrupt := AppendFrame(nil, TStatsOK, []byte("payload"))
+	corrupt[len(corrupt)-2] ^= 0x40
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrProtocol) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("ReadFrame error is untyped: %v", err)
+			}
+			return
+		}
+		// Round-trip: re-encoding the decoded frame must reproduce the bytes
+		// consumed.
+		consumed := frameHeaderLen + len(payload) + 4
+		if enc := AppendFrame(nil, typ, payload); !bytes.Equal(enc, data[:consumed]) {
+			t.Fatalf("frame round-trip mismatch for type %d", typ)
+		}
+		// Every payload decoder must reject garbage gracefully.
+		decodeHelloReq(payload)
+		decodeHelloResp(payload)
+		decodeIngestResp(payload)
+		decodeVersion(payload)
+		decodeSnapshotResp(payload)
+		decodeStatsResp(payload)
+		decodeSampleReq(payload)
+		decodeSampleResp(payload)
+		decodeErrResp(payload)
+	})
+}
