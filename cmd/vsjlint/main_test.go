@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUnitcheckFlagsNegativeFixture drives the go vet protocol path
+// directly: build a .cfg for the intentionally-violating persist fixture
+// (as the go command would), run unitcheck, and require findings (exit
+// code 2) plus the facts file the build system expects.
+func TestUnitcheckFlagsNegativeFixture(t *testing.T) {
+	fixture, err := filepath.Abs("../../internal/analysis/selftest/testdata/negative/persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("go", "list", "-export", "-deps", "-f",
+		"{{if .Export}}{{.ImportPath}} {{.Export}}{{end}}", "os").Output()
+	if err != nil {
+		t.Fatalf("go list -export -deps os: %v", err)
+	}
+	packageFile := map[string]string{}
+	importMap := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 2 {
+			packageFile[f[0]] = f[1]
+			importMap[f[0]] = f[0]
+		}
+	}
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "persist.vetx")
+	cfg := vetConfig{
+		ID:          "negpersist",
+		Dir:         fixture,
+		ImportPath:  "negpersist",
+		GoFiles:     []string{filepath.Join(fixture, "persist.go")},
+		ImportMap:   importMap,
+		PackageFile: packageFile,
+		VetxOutput:  vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := unitcheck(cfgPath); code != 2 {
+		t.Errorf("unitcheck on the violating fixture returned %d, want 2 (findings)", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("unitcheck did not write the facts file: %v", err)
+	}
+}
+
+// TestUnitcheckSkipsTestVariants pins the production-only scope: a unit
+// compiling _test.go files is skipped wholesale, since test code may
+// intentionally violate the invariants.
+func TestUnitcheckSkipsTestVariants(t *testing.T) {
+	dir := t.TempDir()
+	cfg := vetConfig{
+		ID:         "x [x.test]",
+		ImportPath: "x",
+		GoFiles:    []string{filepath.Join(dir, "x_test.go")},
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := unitcheck(cfgPath); code != 0 {
+		t.Errorf("unitcheck on a test variant returned %d, want 0 (skipped)", code)
+	}
+}

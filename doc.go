@@ -182,4 +182,13 @@
 // Run `vsjbench -perf` to regenerate the BENCH_lsh.json hot-path timings
 // tracked in the repository root, including a mixed Estimate+Insert serving
 // benchmark and the fused / panel-streamed / float32 signing paths.
+//
+// # Invariant checking
+//
+// The correctness rules the compiler cannot see — VEX-only assembly, atomic
+// estimator seed streams, componentwise version-vector dominance, the
+// persist lock order, sentinel-error comparison via errors.Is, length-guarded
+// decoders, fault-injectable file I/O — are machine-checked by the static
+// analyzer suite in cmd/vsjlint (internal/analysis), which CI runs over
+// every package; see DESIGN.md's "Static analysis" section.
 package lshjoin

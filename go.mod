@@ -1,3 +1,11 @@
 module lshjoin
 
 go 1.24
+
+// No requirements — the module is deliberately dependency-free and builds
+// offline. The vsjlint analyzer suite (cmd/vsjlint, internal/analysis)
+// mirrors the golang.org/x/tools/go/analysis API on the standard library
+// alone: type information comes from `go list -export` export data, the
+// same way go vet's unitchecker obtains it. If an x/tools dependency is
+// ever taken, pin it here and the analyzers port mechanically (see
+// DESIGN.md "Static analysis").

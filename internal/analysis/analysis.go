@@ -1,0 +1,111 @@
+// Package analysis is a small, dependency-free analyzer framework modeled
+// on golang.org/x/tools/go/analysis. It exists because this repository's
+// costliest bugs have all been invariant violations the compiler cannot
+// see — a legacy-SSE MOVQ inside an AVX2 kernel (7× AVX/SSE transition
+// penalty, PR 7), a non-atomic estimator seed counter (PR 5 data race), a
+// summed-version-vector cache advance that aliases across concurrent
+// captures (PR 5) — and those rules belong in machine-checked analyzers,
+// not commit messages. See DESIGN.md "Static analysis" and cmd/vsjlint.
+//
+// The API deliberately mirrors x/tools (Analyzer, Pass, Diagnostic, a
+// testdata-driven golden harness in analysistest) so the analyzers can be
+// ported onto the real framework wholesale if the module ever takes the
+// golang.org/x/tools dependency; the build environment for this repo is
+// offline, so the framework itself is implemented on the standard library
+// alone: packages load through `go list -export` and type-check against gc
+// export data (load.go), exactly as go vet's unitchecker does.
+//
+// Suppressions: a `//vsjlint:ignore <analyzer> <reason>` comment suppresses
+// that analyzer's findings on the directive's line (trailing comment) or on
+// the line directly below (standalone comment line). Every suppression is
+// re-audited on each run — a directive whose target line no longer triggers
+// the named analyzer is itself reported as stale, so escapes cannot outlive
+// the code they excused (suppress.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //vsjlint:ignore directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by `vsjlint -list`:
+	// the invariant encoded and the historical bug that motivates it.
+	Doc string
+
+	// PkgFilter, if non-nil, restricts the analyzer to packages for which
+	// it returns true (import path and package name). Analyzers encoding
+	// package-local disciplines (decodebounds, fsyncdiscipline, lockorder
+	// documentation lives in specific packages) use this to avoid noise.
+	PkgFilter func(path, name string) bool
+
+	// Run performs the analysis on one package and reports findings
+	// through the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzed package to one analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset       *token.FileSet
+	Files      []*ast.File // parsed source, with comments
+	OtherFiles []string    // non-Go build inputs, notably .s assembly
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at a position inside the package's Go source.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportAtf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportAtf reports a finding at an explicit file position; analyzers over
+// non-Go files (vexmix over assembly) construct the position themselves.
+func (p *Pass) ReportAtf(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// WithStack walks every node of every file in source order, supplying the
+// path of ancestors (outermost first, ending at n's parent). Returning
+// false prunes the subtree below n.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1] // pop after the children of a visited node
+				return true
+			}
+			if !fn(n, stack) {
+				return false // pruned: Inspect sends no nil for this node
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

@@ -1,0 +1,235 @@
+// Package analysistest is a golden-file harness for the analyzers in
+// internal/analysis, modeled on golang.org/x/tools/go/analysis/analysistest.
+// A fixture is a package under <testdata>/src/<path>; expectations are
+// `// want "regexp"` comments on the offending line, in Go and assembly
+// files alike. Every reported diagnostic must match a want expectation on
+// its exact line, and every expectation must be matched by a diagnostic —
+// so each suite pins both the flagged and the permitted shapes.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"lshjoin/internal/analysis"
+)
+
+// Run loads the fixture package at dir/src/<path>, runs the analyzer plus
+// the suppression audit over it, and compares the diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, path string) {
+	t.Helper()
+	pkg, err := load(dir, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, append(pkg.GoFiles, pkg.OtherFiles...), diags)
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// checkWants cross-checks diagnostics against `// want "rx"` expectations.
+func checkWants(t *testing.T, files []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	type expect struct {
+		file string
+		line int
+		rx   *regexp.Regexp
+		hit  bool
+	}
+	var expects []*expect
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			for _, q := range splitQuoted(m[1]) {
+				rx, err := regexp.Compile(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", f, i+1, q, err)
+				}
+				expects = append(expects, &expect{file: f, line: i + 1, rx: rx})
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if !e.hit && e.file == d.Position.Filename && e.line == d.Position.Line && e.rx.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.rx)
+		}
+	}
+}
+
+// splitQuoted extracts the quoted segments of a want clause — double- or
+// backtick-quoted, in any mix. Escapes inside are passed through to the
+// regexp compiler untouched, so fixtures can use \[ etc.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexAny(s, "\"`")
+		if i < 0 {
+			return out
+		}
+		q := s[i]
+		s = s[i+1:]
+		j := strings.IndexByte(s, q)
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}
+
+// load parses and type-checks the fixture package rooted at dir/src/path.
+// Imports resolve against sibling fixture packages first (dir/src/<import>),
+// then against the real build's gc export data via `go list -export`, so
+// fixtures can use the standard library exactly as production code does.
+func load(dir, path string) (*analysis.Package, error) {
+	ld := &fixtureLoader{
+		fset:    token.NewFileSet(),
+		srcRoot: filepath.Join(dir, "src"),
+		pkgs:    make(map[string]*fixturePkg),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", gcExportLookup).(types.ImporterFrom)
+	fp, err := ld.importPath(path)
+	if err != nil {
+		return nil, err
+	}
+	return fp.pkg, nil
+}
+
+type fixturePkg struct {
+	pkg *analysis.Package
+	err error
+}
+
+type fixtureLoader struct {
+	fset    *token.FileSet
+	srcRoot string
+	gc      types.ImporterFrom
+	pkgs    map[string]*fixturePkg
+}
+
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(ld.srcRoot, path)) {
+		fp, err := ld.importPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg.Types, nil
+	}
+	return ld.gc.ImportFrom(path, ld.srcRoot, 0)
+}
+
+func (ld *fixtureLoader) importPath(path string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[path]; ok {
+		return fp, fp.err
+	}
+	fp := &fixturePkg{}
+	ld.pkgs[path] = fp
+	fp.pkg, fp.err = ld.check(path)
+	return fp, fp.err
+}
+
+func (ld *fixtureLoader) check(path string) (*analysis.Package, error) {
+	pkgDir := filepath.Join(ld.srcRoot, path)
+	ents, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: %v", err)
+	}
+	var goFiles, sFiles []string
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, "_test.go"):
+		case strings.HasSuffix(name, ".go"):
+			goFiles = append(goFiles, filepath.Join(pkgDir, name))
+		case strings.HasSuffix(name, ".s"):
+			sFiles = append(sFiles, filepath.Join(pkgDir, name))
+		}
+	}
+	files, err := analysis.ParseFiles(ld.fset, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	tpkg, info, err := analysis.TypeCheck(ld.fset, path, files, ld)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: type-checking %s: %w", path, err)
+	}
+	return &analysis.Package{
+		Path:       path,
+		Name:       tpkg.Name(),
+		Dir:        pkgDir,
+		Fset:       ld.fset,
+		Files:      files,
+		GoFiles:    goFiles,
+		OtherFiles: sFiles,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+func dirExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// gcExportLookup resolves an import path to its gc export data by asking
+// the go command, caching process-wide: fixture suites import the same few
+// standard-library packages over and over.
+var (
+	gcMu    sync.Mutex
+	gcCache = make(map[string]string)
+)
+
+func gcExportLookup(path string) (io.ReadCloser, error) {
+	gcMu.Lock()
+	exp, ok := gcCache[path]
+	gcMu.Unlock()
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: go list -export %s: %v", path, err)
+		}
+		exp = strings.TrimSpace(string(out))
+		if exp == "" {
+			return nil, fmt.Errorf("analysistest: no export data for %q", path)
+		}
+		gcMu.Lock()
+		gcCache[path] = exp
+		gcMu.Unlock()
+	}
+	return os.Open(exp)
+}

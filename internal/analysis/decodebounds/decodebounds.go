@@ -1,0 +1,264 @@
+// Package decodebounds audits the byte-level decoders of the persistence
+// and wire-protocol layers.
+//
+// Invariant encoded: in internal/lsh/persist and internal/shardrpc, every
+// index or bounded subslice of an *input* byte buffer (a parameter or a
+// struct field like cursor.data / preader.data) must be dominated by a
+// length guard — a comparison involving len(buf) or a bounds-carrying
+// method like rem() — so corrupted or hostile bytes can never panic a
+// decoder. This is the discipline the snapshot/WAL/frame fuzz targets
+// (FuzzSnapshotDecode, FuzzFrameDecode) verify dynamically; the analyzer
+// pins it structurally, so a new decoder without its guard fails CI even
+// before a fuzzer finds the panic.
+//
+// Approximation, stated honestly: the guard check is positional (a guard on
+// the same buffer earlier in the function body, or in an enclosing
+// condition), not a real dominance analysis. Locally constructed buffers
+// (make/append/composite literals) are exempt — the bug class is trusting
+// input-controlled lengths, not sizing arithmetic on buffers the function
+// itself allocated. Low-only subslices (buf[i:]) are exempt too: they
+// cannot read a single byte out of bounds, and the index arithmetic that
+// could make them panic is exactly what the cursor invariants (off ≤ len)
+// already maintain.
+package decodebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"lshjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "decodebounds",
+	Doc: "persist/shardrpc decoders must length-guard every index or bounded " +
+		"subslice of an input byte buffer before touching it",
+	PkgFilter: func(path, name string) bool {
+		return strings.HasSuffix(path, "internal/lsh/persist") ||
+			strings.HasSuffix(path, "internal/shardrpc") ||
+			name == "persist" || name == "shardrpc"
+	},
+	Run: run,
+}
+
+// guardMethod matches receiver methods that carry bounds information, like
+// the cursor/preader rem() idiom.
+var guardMethod = regexp.MustCompile(`(?i)^(rem|len|remaining|avail|size)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	guards := map[*types.Var][]token.Pos{} // root object → guard positions
+	safeLocals := map[*types.Var]bool{}    // locally constructed buffers
+
+	// First pass: collect guards and locally constructed buffers.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				for _, r := range guardRoots(pass, n) {
+					guards[r] = append(guards[r], n.Pos())
+				}
+			}
+		case *ast.RangeStmt:
+			if r := rootObj(pass, n.X); r != nil {
+				guards[r] = append(guards[r], n.Pos())
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE && n.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+				if !ok {
+					if v, ok = pass.TypesInfo.Uses[id].(*types.Var); !ok {
+						continue
+					}
+				}
+				if isFreshBuffer(n.Rhs[i]) {
+					safeLocals[v] = true
+				} else if _, ok := ast.Unparen(n.Rhs[i]).(*ast.SliceExpr); ok {
+					// A local defined by a subslice was bounds-established
+					// by that subslice expression (itself checked as a
+					// candidate); treat the definition as its guard.
+					guards[v] = append(guards[v], n.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: flag unguarded candidates.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		var base ast.Expr
+		var pos token.Pos
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			base, pos = n.X, n.Lbrack
+		case *ast.SliceExpr:
+			if n.High == nil && n.Max == nil {
+				return true // low-only subslice: cannot read out of bounds
+			}
+			base, pos = n.X, n.Lbrack
+		default:
+			return true
+		}
+		if !isByteSlice(pass.TypesInfo.TypeOf(base)) {
+			return true
+		}
+		root := rootObj(pass, base)
+		if root == nil {
+			return true
+		}
+		if _, ok := ast.Unparen(base).(*ast.Ident); ok && safeLocals[root] {
+			return true
+		}
+		if !isInputBuffer(pass, base) {
+			return true
+		}
+		for _, g := range guards[root] {
+			if g < pos {
+				return true
+			}
+		}
+		pass.Reportf(pos,
+			"index of input buffer %s without a preceding length guard: corrupted bytes could panic this decoder — check len()/rem() first",
+			exprString(base))
+		return true
+	})
+}
+
+// guardRoots returns the root objects whose length the comparison checks:
+// operands containing len(e) or a bounds-method call like e.rem().
+func guardRoots(pass *analysis.Pass, cmp *ast.BinaryExpr) []*types.Var {
+	var out []*types.Var
+	for _, side := range [2]ast.Expr{cmp.X, cmp.Y} {
+		ast.Inspect(side, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "len" && len(call.Args) == 1 {
+					if r := rootObj(pass, call.Args[0]); r != nil {
+						out = append(out, r)
+					}
+				}
+			case *ast.SelectorExpr:
+				if guardMethod.MatchString(fun.Sel.Name) {
+					if r := rootObj(pass, fun.X); r != nil {
+						out = append(out, r)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isInputBuffer reports whether e is a buffer the function received rather
+// than built: a plain identifier (parameter or derived local — derived
+// locals share the input's bytes) or a struct-field selector.
+func isInputBuffer(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		return ok
+	case *ast.SelectorExpr:
+		v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		return ok && v.IsField()
+	}
+	return false
+}
+
+// isFreshBuffer reports whether the expression allocates its own storage
+// with locally computed size: make, append, literals, string conversion.
+func isFreshBuffer(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name == "make" || fun.Name == "append"
+		case *ast.ArrayType:
+			return true // []byte(s) conversion copies
+		}
+	case *ast.CompositeLit:
+		return true
+	}
+	return false
+}
+
+// rootObj returns the leftmost identifier's object: data → data, c.data →
+// c, c.rem() → c.
+func rootObj(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "buffer"
+}

@@ -1,0 +1,12 @@
+package decodebounds_test
+
+import (
+	"testing"
+
+	"lshjoin/internal/analysis/analysistest"
+	"lshjoin/internal/analysis/decodebounds"
+)
+
+func TestDecodeBounds(t *testing.T) {
+	analysistest.Run(t, decodebounds.Analyzer, "testdata", "persist")
+}

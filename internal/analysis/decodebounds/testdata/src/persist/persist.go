@@ -1,0 +1,72 @@
+// Package persist is the decodebounds fixture, shaped like the real
+// persist/shardrpc decoders: a cursor with a rem() idiom, record scanners
+// over an input []byte, and the flagged variants that skip their guards.
+package persist
+
+import "encoding/binary"
+
+type cursor struct {
+	data []byte
+	off  int
+}
+
+func (c *cursor) rem() int { return len(c.data) - c.off }
+
+// bytes is the guarded cursor read: permitted.
+func (c *cursor) bytes(n int) []byte {
+	if n < 0 || c.rem() < n {
+		return nil
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+// bytesUnguarded skips the rem() check: flagged.
+func (c *cursor) bytesUnguarded(n int) []byte {
+	b := c.data[c.off : c.off+n] // want `index of input buffer c\.data without a preceding length guard`
+	c.off += n
+	return b
+}
+
+// scan mimics scanWAL: every bounded access is dominated by a len() check.
+func scan(data []byte) (uint32, []byte) {
+	if len(data) < 8 {
+		return 0, nil
+	}
+	hdr := data[:8]
+	plen := binary.LittleEndian.Uint32(hdr[:4])
+	end := 8 + int(plen)
+	if end > len(data) {
+		return 0, nil
+	}
+	payload := data[8:end]
+	_ = data[4:] // low-only subslice: exempt even without its own guard
+	return plen, payload
+}
+
+// scanUnguarded reads the header before checking anything: flagged.
+func scanUnguarded(data []byte) (byte, []byte) {
+	kind := data[0]       // want `index of input buffer data without a preceding length guard`
+	payload := data[1:DL] // want `index of input buffer data without a preceding length guard`
+	return kind, payload
+}
+
+// DL is an arbitrary bound for the fixture.
+const DL = 16
+
+// decodeLocal builds its own buffer; locally constructed storage with
+// computed size is exempt.
+func decodeLocal(n int) []byte {
+	body := make([]byte, n+4)
+	copy(body, "head")
+	return body[:n] // permitted: locally sized
+}
+
+// rangeGuarded indexes under a range over the same buffer: permitted.
+func rangeGuarded(data []byte) (sum byte) {
+	for i := range data {
+		sum += data[i]
+	}
+	return sum
+}

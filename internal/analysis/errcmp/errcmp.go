@@ -1,0 +1,83 @@
+// Package errcmp forbids == and != comparisons against sentinel error
+// variables in favor of errors.Is.
+//
+// Invariant encoded: every error this module surfaces is wrapped — persist
+// wraps ErrCorrupt/ErrExists/ErrNotExist with context (`corrupt(...)`,
+// fmt.Errorf("...: %w")), the public layer re-exports them as
+// ErrCorruptStore/ErrNoStore/ErrStoreExists, and shardrpc wraps
+// ErrProtocol/ErrUnavailable the same way. An identity comparison against
+// a sentinel is therefore almost always a latent bug: it succeeds in the
+// one unit test that returns the bare sentinel and silently fails on every
+// production path that wraps it. errors.Is is the only comparison that
+// respects the wrapping discipline the error-handling tests (options_test,
+// persist_test) pin.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"lshjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "forbid ==/!= against sentinel error variables; wrapped errors compare " +
+		"false by identity, so use errors.Is (module-wide wrapping discipline)",
+	Run: run,
+}
+
+// sentinelName matches the naming convention for sentinel errors: ErrFoo
+// exported, errFoo unexported.
+var sentinelName = regexp.MustCompile(`^[Ee]rr[A-Z]`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, operand := range [2]ast.Expr{be.X, be.Y} {
+				if v := sentinelVar(pass, operand); v != nil {
+					pass.Reportf(be.OpPos,
+						"comparing against sentinel error %s with %s: wrapped errors never compare equal — use errors.Is(err, %s)",
+						v.Name(), be.Op, v.Name())
+					break // one report per comparison
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelVar reports whether e references a package-level error variable
+// named like a sentinel, returning the variable.
+func sentinelVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !sentinelName.MatchString(v.Name()) {
+		return nil
+	}
+	// Package-level: declared directly in its package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorInterface) && !types.Identical(v.Type(), errorInterface) {
+		return nil
+	}
+	return v
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

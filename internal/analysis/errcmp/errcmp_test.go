@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"lshjoin/internal/analysis/analysistest"
+	"lshjoin/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, errcmp.Analyzer, "testdata", "a")
+}

@@ -1,0 +1,71 @@
+// Package a is the errcmp fixture: identity comparisons against sentinel
+// errors are flagged; errors.Is, nil checks, and non-sentinel comparisons
+// are permitted.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// EOF identity is the io.Reader contract and EOF is not named like a
+// sentinel; it stays out of scope.
+func ReadAll(r io.Reader) error {
+	var b [1]byte
+	for {
+		if _, err := r.Read(b[:]); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+	}
+}
+
+var ErrCorrupt = errors.New("corrupt store")
+var errInternal = errors.New("internal")
+
+// NotASentinel is error-typed but not named like a sentinel.
+var NotASentinel = errors.New("misc")
+
+func open() error { return fmt.Errorf("wrap: %w", ErrCorrupt) }
+
+func Flagged() {
+	err := open()
+	if err == ErrCorrupt { // want `comparing against sentinel error ErrCorrupt with ==: wrapped errors never compare equal`
+		return
+	}
+	if err != errInternal { // want `comparing against sentinel error errInternal with !=`
+		return
+	}
+	if ErrCorrupt == err { // want `use errors\.Is\(err, ErrCorrupt\)`
+		return
+	}
+	switch {
+	case err == ErrCorrupt: // want `comparing against sentinel error ErrCorrupt`
+	}
+}
+
+func Permitted() {
+	err := open()
+	if errors.Is(err, ErrCorrupt) {
+		return
+	}
+	if err == nil || err != nil {
+		return
+	}
+	if err == NotASentinel { // not named like a sentinel: out of scope
+		return
+	}
+	local := errors.New("local")
+	if err == local { // not package-level: out of scope
+		return
+	}
+}
+
+func Suppressed() {
+	err := open()
+	if err == ErrCorrupt { //vsjlint:ignore errcmp exact identity intended here
+		return
+	}
+}

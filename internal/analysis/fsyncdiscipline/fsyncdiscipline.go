@@ -1,0 +1,71 @@
+// Package fsyncdiscipline keeps the durability layer on the injectable
+// filesystem.
+//
+// Invariant encoded: every file operation in internal/lsh/persist routes
+// through faultfs.FS, never the os package directly. The crash-consistency
+// property sweeps (faultfs crash/err/short-write/enospc/sync-err/bit-flip
+// plans firing at every N-th mutating operation) can only exercise what
+// they can intercept — a direct os.Rename in a persist path is invisible to
+// MemFS, so its failure modes silently fall out of fault-injection
+// coverage. PR 6's shadowed-error MANIFEST rename was caught precisely
+// because the rename went through the injectable FS; this analyzer makes
+// sure the next file op does too.
+package fsyncdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lshjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncdiscipline",
+	Doc: "file operations in the persist layer must route through faultfs.FS, " +
+		"not os.*, so fault-injection coverage cannot silently erode",
+	PkgFilter: func(path, name string) bool {
+		return strings.HasSuffix(path, "internal/lsh/persist") || name == "persist"
+	},
+	Run: run,
+}
+
+// mutating lists the os functions whose direct use breaks the injection
+// discipline: everything that creates, alters or removes filesystem state,
+// plus the read side the FS interface covers (a direct read bypasses MemFS
+// state, so fault tests would read the host disk instead of the model).
+var mutating = map[string]bool{
+	"Create": true, "CreateTemp": true, "OpenFile": true, "WriteFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true, "Mkdir": true,
+	"MkdirAll": true, "MkdirTemp": true, "Truncate": true, "Link": true,
+	"Symlink": true, "Chmod": true, "Chown": true, "Chtimes": true,
+	"Open": true, "ReadFile": true, "ReadDir": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !mutating[sel.Sel.Name] {
+				return true
+			}
+			base, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[base].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "os" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct os.%s in the persist layer bypasses faultfs.FS: the crash property sweep cannot inject faults into it — route through the store's fs",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

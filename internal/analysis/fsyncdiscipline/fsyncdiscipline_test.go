@@ -1,0 +1,12 @@
+package fsyncdiscipline_test
+
+import (
+	"testing"
+
+	"lshjoin/internal/analysis/analysistest"
+	"lshjoin/internal/analysis/fsyncdiscipline"
+)
+
+func TestFsyncDiscipline(t *testing.T) {
+	analysistest.Run(t, fsyncdiscipline.Analyzer, "testdata", "persist")
+}

@@ -1,0 +1,58 @@
+// Package persist is the fsyncdiscipline fixture: it mimics the real
+// durability layer's shape. Direct os file operations are flagged; the
+// injectable-FS path and non-filesystem os calls are permitted.
+package persist
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS mirrors faultfs.FS: the injectable surface the crash sweep drives.
+type FS interface {
+	Create(name string) (interface{ Sync() error }, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+}
+
+type store struct {
+	fs  FS
+	dir string
+}
+
+func (st *store) flaggedWrite(name string, data []byte) error {
+	tmp := filepath.Join(st.dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil { // want `direct os\.WriteFile in the persist layer bypasses faultfs\.FS`
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, name)); err != nil { // want `direct os\.Rename`
+		return err
+	}
+	os.Remove(tmp)             // want `direct os\.Remove`
+	f, err := os.Create(tmp)   // want `direct os\.Create`
+	_, _ = os.ReadFile(tmp)    // want `direct os\.ReadFile`
+	_ = os.MkdirAll(st.dir, 0) // want `direct os\.MkdirAll`
+	if err != nil {
+		return err
+	}
+	_ = f
+	return nil
+}
+
+func (st *store) permittedWrite(name string, data []byte) error {
+	f, err := st.fs.Create(filepath.Join(st.dir, name))
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := st.fs.Rename(name+".tmp", name); err != nil {
+		return err
+	}
+	// Non-filesystem os calls stay in scope of the os package proper.
+	_ = os.Getenv("HOME")
+	_ = os.Getpid()
+	return st.fs.Remove(name + ".tmp")
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path       string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	GoFiles    []string // absolute paths, build-constrained, tests excluded
+	OtherFiles []string // absolute paths of .s files in the build
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	SFiles     []string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go command (run in dir) and returns the
+// matched packages parsed and type-checked. Dependencies — including the
+// standard library — are imported from gc export data produced by
+// `go list -export`, so loading works fully offline; only the target
+// packages themselves are parsed from source. Test files are not loaded:
+// the analyzers encode production invariants, and test code legitimately
+// breaks several of them (single-goroutine seed-counter replicas, exact
+// sentinel identity checks).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,SFiles,Standard,DepOnly,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	exportFor := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exportFor[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard && lp.Name != "" {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, lp := range targets {
+		wg.Add(1)
+		go func(i int, lp *listedPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = checkPackage(fset, lp, exportFor)
+		}(i, lp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one listed package against the export
+// data of its dependencies.
+func checkPackage(fset *token.FileSet, lp *listedPackage, exportFor map[string]string) (*Package, error) {
+	abs := func(names []string) []string {
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = filepath.Join(lp.Dir, n)
+		}
+		return out
+	}
+	goFiles := abs(lp.GoFiles)
+	files, err := ParseFiles(fset, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	tpkg, info, err := TypeCheck(fset, lp.ImportPath, files, importer.ForCompiler(fset, "gc", lookup))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:       lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		GoFiles:    goFiles,
+		OtherFiles: abs(lp.SFiles),
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// ParseFiles parses source files with comments retained.
+func ParseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	files := make([]*ast.File, len(paths))
+	for i, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files[i] = f
+	}
+	return files, nil
+}
+
+// TypeCheck runs the type checker over parsed files with a fully populated
+// types.Info, resolving imports through imp.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tpkg, info, nil
+}
+
+// ModuleRoot returns the root directory of the module containing dir.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysis: go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

@@ -1,0 +1,283 @@
+// Package lockorder enforces documented mutex acquisition orders.
+//
+// Invariant encoded: when a struct field's doc comment declares
+// "Lock order: A before B" (the persist Store declares ckptMu before mu),
+// no code path may acquire A while B is held — neither directly nor
+// through a chain of same-package calls. PR 8's background checkpointer
+// briefly had an inversion candidate: OnPublish holds mu when it signals
+// the checkpointer, and the checkpointer takes ckptMu then mu; had the
+// signal been a synchronous call instead of a goroutine handoff, the two
+// paths would deadlock under contention. The analyzer reads the order from
+// the doc (so the code stays the source of truth), builds a may-acquire
+// summary per function via a call-graph fixpoint, and flags any
+// wrong-order acquisition reachable with the second lock held.
+//
+// Goroutine launches (go f(...)) do not inherit the caller's held set and
+// do not contribute to a caller's may-acquire summary: a goroutine starts
+// on its own stack and the handoff is exactly the sanctioned way to escape
+// the order (that is the checkpointer design). Function literals are
+// likewise analyzed on their own with an empty held set.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"lshjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "mutex pairs with a documented \"Lock order: A before B\" must never " +
+		"be acquired in the inverse order on any synchronous call path",
+	Run: run,
+}
+
+var orderRe = regexp.MustCompile(`(?i)lock order:\s*(\w+)\s+before\s+(\w+)`)
+
+// rule records one documented order: first must be held before second is
+// taken; equivalently, taking first while second is held is an inversion.
+type rule struct {
+	first, second string
+	doc           string
+}
+
+func run(pass *analysis.Pass) error {
+	rules := collectRules(pass)
+	if len(rules) == 0 {
+		return nil
+	}
+	ordered := map[string]bool{}
+	for _, r := range rules {
+		ordered[r.first] = true
+		ordered[r.second] = true
+	}
+
+	// May-acquire fixpoint over the same-package call graph.
+	funcs := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				funcs[obj] = fd
+			}
+		}
+	}
+	acquires := map[types.Object]map[string]bool{}
+	callees := map[types.Object][]types.Object{}
+	for obj, fd := range funcs {
+		acq := map[string]bool{}
+		syncWalk(fd.Body, func(n ast.Node) {
+			if name, kind := mutexOp(pass, n, ordered); kind == opLock {
+				acq[name] = true
+			}
+			if callee := calleeObj(pass, n); callee != nil {
+				if _, same := funcs[callee]; same {
+					callees[obj] = append(callees[obj], callee)
+				}
+			}
+		})
+		acquires[obj] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range funcs {
+			for _, c := range callees[obj] {
+				for name := range acquires[c] {
+					if !acquires[obj][name] {
+						acquires[obj][name] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, fd := range funcs {
+		checkBody(pass, fd.Body, rules, ordered, funcs, acquires)
+	}
+	return nil
+}
+
+// checkBody walks one synchronous body with a positional held-set scan,
+// flagging inversions. Function literals restart with an empty held set.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, rules []rule, ordered map[string]bool, funcs map[types.Object]*ast.FuncDecl, acquires map[types.Object]map[string]bool) {
+	held := map[string]bool{}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false // new stack, empty held set, sanctioned escape
+			case *ast.FuncLit:
+				checkBody(pass, n.Body, rules, ordered, funcs, acquires)
+				return false
+			case *ast.DeferStmt:
+				// defer mu.Unlock() keeps the lock held for the rest of the
+				// body; a deferred Lock would be bizarre — ignore both for
+				// the held set.
+				return false
+			case *ast.CallExpr:
+				if name, kind := mutexOp(pass, n, ordered); name != "" {
+					if kind == opLock {
+						flagInversion(pass, n.Pos(), name, held, rules, "")
+						held[name] = true
+					} else {
+						delete(held, name)
+					}
+					return true
+				}
+				if callee := calleeObj(pass, n); callee != nil {
+					for name := range acquires[callee] {
+						flagInversion(pass, n.Pos(), name, held, rules, callee.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+func flagInversion(pass *analysis.Pass, pos token.Pos, acquiring string, held map[string]bool, rules []rule, via string) {
+	for _, r := range rules {
+		if r.first == acquiring && held[r.second] {
+			how := "acquires"
+			if via != "" {
+				how = "calls " + via + " which acquires"
+			}
+			pass.Reportf(pos,
+				"%s %s while %s is held: documented lock order is %q — inverse acquisition can deadlock against the %s-first paths",
+				how, acquiring, r.second, r.doc, r.first)
+		}
+	}
+}
+
+type opKind int
+
+const (
+	opNone opKind = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp recognizes x.<field>.Lock()/RLock()/Unlock()/RUnlock() where
+// <field> is one of the rule-relevant mutex fields, returning the field
+// name and the operation.
+func mutexOp(pass *analysis.Pass, n ast.Node, ordered map[string]bool) (string, opKind) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", opNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var kind opKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	// The receiver must name a rule-relevant field: st.ckptMu or ckptMu.
+	var name string
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	case *ast.Ident:
+		name = x.Name
+	default:
+		return "", opNone
+	}
+	if !ordered[name] || !isMutex(pass.TypesInfo.TypeOf(sel.X)) {
+		return "", opNone
+	}
+	return name, kind
+}
+
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// calleeObj resolves a call to a same-package function or method object.
+func calleeObj(pass *analysis.Pass, n ast.Node) types.Object {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// syncWalk visits every node of a body except goroutine launches and
+// function literals — the synchronous footprint used by the may-acquire
+// summary.
+func syncWalk(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// collectRules scans struct field doc and line comments for the order
+// directive.
+func collectRules(pass *analysis.Pass) []rule {
+	var rules []rule
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := orderRe.FindStringSubmatch(cg.Text()); m != nil {
+						rules = append(rules, rule{
+							first:  m[1],
+							second: m[2],
+							doc:    m[1] + " before " + m[2],
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return rules
+}

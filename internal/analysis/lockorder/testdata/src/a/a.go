@@ -1,0 +1,65 @@
+// Package a is the lockorder fixture, shaped like the persist Store: a
+// checkpoint mutex documented to precede the state mutex, correct paths
+// permitted, direct and transitive inversions flagged, and the goroutine
+// handoff (the real checkpointer design) permitted.
+package a
+
+import "sync"
+
+type store struct {
+	// ckptMu serializes checkpoint commits. Lock order: ckptMu before mu.
+	ckptMu sync.Mutex
+	mu     sync.Mutex
+
+	state int
+}
+
+// checkpoint takes the documented order: permitted.
+func (s *store) checkpoint() {
+	s.ckptMu.Lock()
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.ckptMu.Unlock()
+}
+
+// inverted takes mu first and then ckptMu: flagged.
+func (s *store) inverted() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ckptMu.Lock() // want `acquires ckptMu while mu is held`
+	defer s.ckptMu.Unlock()
+	s.state++
+}
+
+// commitLocked acquires ckptMu; callers must not hold mu.
+func (s *store) commitLocked() {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.state++
+}
+
+// invertedViaCall reaches the inversion through a call: flagged at the
+// call site.
+func (s *store) invertedViaCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitLocked() // want `calls commitLocked which acquires ckptMu while mu is held`
+}
+
+// publish holds mu but hands checkpointing to a goroutine, which starts on
+// its own stack: permitted — this is the sanctioned escape.
+func (s *store) publish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state++
+	go s.commitLocked()
+}
+
+// sequential releases mu before taking ckptMu: permitted.
+func (s *store) sequential() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.commitLocked()
+}

@@ -1,0 +1,28 @@
+// Package registry enumerates the vsjlint analyzer suite. cmd/vsjlint and
+// the self-test both draw from here, so a new analyzer becomes active
+// everywhere by being added to one slice.
+package registry
+
+import (
+	"lshjoin/internal/analysis"
+	"lshjoin/internal/analysis/decodebounds"
+	"lshjoin/internal/analysis/errcmp"
+	"lshjoin/internal/analysis/fsyncdiscipline"
+	"lshjoin/internal/analysis/lockorder"
+	"lshjoin/internal/analysis/seedstream"
+	"lshjoin/internal/analysis/versiondominance"
+	"lshjoin/internal/analysis/vexmix"
+)
+
+// All returns the full vsjlint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		decodebounds.Analyzer,
+		errcmp.Analyzer,
+		fsyncdiscipline.Analyzer,
+		lockorder.Analyzer,
+		seedstream.Analyzer,
+		versiondominance.Analyzer,
+		vexmix.Analyzer,
+	}
+}

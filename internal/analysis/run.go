@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Run executes every applicable analyzer over every package, applies
+// //vsjlint:ignore suppressions, audits the suppressions themselves, and
+// returns the surviving diagnostics in deterministic position order.
+// Packages are analyzed concurrently; analyzers within a package run
+// sequentially and must not retain the Pass after returning.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i], errs[i] = runPackage(pkg, analyzers, known)
+		}(i, pkg)
+	}
+	wg.Wait()
+	var all []Diagnostic
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		all = append(all, perPkg[i]...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.PkgFilter != nil && !a.PkgFilter(pkg.Path, pkg.Name) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			OtherFiles: pkg.OtherFiles,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			report:     func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	files := append(append([]string{}, pkg.GoFiles...), pkg.OtherFiles...)
+	return applySuppressions(files, diags, known), nil
+}

@@ -1,0 +1,146 @@
+// Package seedstream guards the estimator seed-stream discipline.
+//
+// Invariant encoded: every public collection (Collection, ShardedCollection,
+// CrossJoin, RemoteCollection) derives per-estimate RNG streams from an
+// atomically incremented seed counter — xrand.Mix2(seed^salt, seedCtr.Add(1))
+// — so concurrent Estimate calls draw disjoint, reproducible streams.
+// PR 5 shipped exactly this bug: CrossJoin.seedCtr was a plain uint64
+// incremented with seedCtr++, a data race under concurrent estimates that
+// -race only catches when a test actually races two estimators. The rule is
+// structural instead: (1) a struct field named like a seed counter must be a
+// sync/atomic type, and (2) any field whose doc comment promises atomic
+// access must only be read or written through sync/atomic calls.
+package seedstream
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"lshjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedstream",
+	Doc: "estimator seed counters must be sync/atomic values, and fields documented " +
+		"as atomic must never be accessed outside sync/atomic ops (PR 5 seedCtr race)",
+	Run: run,
+}
+
+// seedCounterName matches fields that hold the estimator seed stream
+// position: seedCtr, seedCounter, estSeedCtr, ...
+var seedCounterName = regexp.MustCompile(`(?i)seed_?(ctr|cnt|counter)`)
+
+// atomicDoc matches field docs that promise atomic access.
+var atomicDoc = regexp.MustCompile(`(?i)\batomic(ally)?\b`)
+
+func run(pass *analysis.Pass) error {
+	// plainAtomicFields collects fields documented as atomic whose type is
+	// NOT a sync/atomic value — every use of those must go through a
+	// sync/atomic call with an &field argument.
+	plainAtomicFields := make(map[*types.Var]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				doc := fieldDoc(field)
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					isSeedCtr := seedCounterName.MatchString(name.Name) ||
+						strings.Contains(strings.ToLower(doc), "seed counter") ||
+						strings.Contains(strings.ToLower(doc), "seed stream")
+					switch {
+					case isSeedCtr && isNumeric(v.Type()):
+						pass.Reportf(name.Pos(),
+							"seed counter %s is a plain %s: concurrent estimates race on it — make it atomic.Uint64 (PR 5 seedCtr race)",
+							name.Name, v.Type())
+					case atomicDoc.MatchString(doc) && !isAtomicType(v.Type()) && isNumeric(v.Type()):
+						plainAtomicFields[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	if len(plainAtomicFields) == 0 {
+		return nil
+	}
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !plainAtomicFields[v] {
+			return true
+		}
+		if isAtomicArg(pass, stack) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is documented as accessed atomically but this use is not a sync/atomic operation",
+			v.Name())
+		return true
+	})
+	return nil
+}
+
+// fieldDoc joins a struct field's doc and trailing line comments.
+func fieldDoc(field *ast.Field) string {
+	var parts []string
+	if field.Doc != nil {
+		parts = append(parts, field.Doc.Text())
+	}
+	if field.Comment != nil {
+		parts = append(parts, field.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// isAtomicArg reports whether the innermost ancestors form &x.f passed to a
+// sync/atomic function call (atomic.AddUint64(&x.f, 1) and friends).
+func isAtomicArg(pass *analysis.Pass, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	unary, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[callee.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicType reports whether t is one of sync/atomic's value types.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isNumeric reports whether t is a plain integer type.
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

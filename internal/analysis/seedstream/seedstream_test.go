@@ -1,0 +1,12 @@
+package seedstream_test
+
+import (
+	"testing"
+
+	"lshjoin/internal/analysis/analysistest"
+	"lshjoin/internal/analysis/seedstream"
+)
+
+func TestSeedstream(t *testing.T) {
+	analysistest.Run(t, seedstream.Analyzer, "testdata", "a")
+}

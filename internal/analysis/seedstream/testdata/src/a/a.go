@@ -1,0 +1,53 @@
+// Package a is the seedstream fixture. The flagged shapes reproduce the
+// PR 5 CrossJoin race: a plain-integer seed counter, and non-atomic access
+// to a field whose doc promises atomicity.
+package a
+
+import "sync/atomic"
+
+// badJoin is the PR 5 race shape: the seed counter is a plain uint64 and
+// estimate() increments it without synchronization.
+type badJoin struct {
+	seed    uint64
+	seedCtr uint64 // want `seed counter seedCtr is a plain uint64: concurrent estimates race on it`
+}
+
+func (b *badJoin) estimate() uint64 {
+	b.seedCtr++
+	return b.seed ^ b.seedCtr
+}
+
+// docCounter's field is documented atomic but typed plain; the mixed
+// accesses below must each be flagged.
+type docCounter struct {
+	// hits is incremented atomically by every reader.
+	hits uint64
+}
+
+func (d *docCounter) touch() {
+	atomic.AddUint64(&d.hits, 1)   // permitted: sync/atomic op
+	d.hits++                       // want `documented as accessed atomically but this use is not`
+	_ = d.hits                     // want `documented as accessed atomically but this use is not`
+	_ = atomic.LoadUint64(&d.hits) // permitted
+	atomic.CompareAndSwapUint64(&d.hits, 0, 1)
+}
+
+// goodJoin is the fixed shape: an atomic.Uint64 counter used through its
+// methods, plus a plain seed value that is configuration, not a counter.
+type goodJoin struct {
+	seed    uint64
+	seedCtr atomic.Uint64
+}
+
+func (g *goodJoin) estimate() uint64 {
+	return g.seed ^ g.seedCtr.Add(1)
+}
+
+// counter is numeric and named close to — but not matching — the seed
+// pattern, and carries no atomic doc: out of scope.
+type counter struct {
+	seeds int
+	ctr   int
+}
+
+func (c *counter) bump() { c.ctr++; c.seeds = c.ctr }

@@ -1,0 +1,79 @@
+// Package selftest pins the two ends of the vsjlint contract: the repo's
+// production packages are clean under the full suite, and the
+// intentionally-violating fixtures under testdata/negative still trip
+// every analyzer class. The second half is what keeps the suite honest —
+// a refactor that silently stops an analyzer from firing fails here, not
+// months later when the bug it guards against returns.
+package selftest
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"lshjoin/internal/analysis"
+	"lshjoin/internal/analysis/registry"
+)
+
+// TestRepoClean mirrors CI's `go run ./cmd/vsjlint ./...`: zero findings
+// over every production package. A finding here means either a real
+// invariant violation or an analyzer regression — both block.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, registry.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not vsjlint-clean: %s", d)
+	}
+}
+
+// TestNegativeFixtures runs the suite over the violating fixtures and
+// requires every analyzer class to fire, including the suppress audit's
+// stale-directive finding.
+func TestNegativeFixtures(t *testing.T) {
+	pkgs, err := analysis.Load(".", "./testdata/negative/mix", "./testdata/negative/persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d fixture packages, want 2", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, registry.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	want := []string{
+		"vexmix", "seedstream", "versiondominance", "lockorder",
+		"errcmp", "decodebounds", "fsyncdiscipline", analysis.SuppressName,
+	}
+	for _, name := range want {
+		if !fired[name] {
+			var got []string
+			for _, d := range diags {
+				got = append(got, d.String())
+			}
+			t.Errorf("analyzer %s did not fire on the negative fixtures; findings:\n%s",
+				name, strings.Join(got, "\n"))
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package mix
+
+// penalty is implemented in mix_amd64.s with the PR 7 transition-penalty
+// pattern that vexmix must flag.
+func penalty(p *byte) uint64

@@ -1,0 +1,68 @@
+// Package mix is the intentionally-violating self-test fixture: it must
+// compile cleanly and trip seedstream, errcmp, versiondominance, lockorder,
+// and the stale-suppression audit. CI proves vsjlint still catches every
+// class by asserting a nonzero exit and the expected analyzer names when
+// run over this package. Keep the violations exactly as shaped — each one
+// is a distilled regression from a past PR.
+package mix
+
+import (
+	"errors"
+	"sync"
+)
+
+// errProbe is a sentinel; comparing it by identity is the errcmp violation.
+var errProbe = errors.New("probe")
+
+// IsProbe compares a sentinel with ==: errcmp must flag this.
+func IsProbe(err error) bool {
+	return err == errProbe
+}
+
+// estimator reproduces the PR 5 race shape: a plain seed counter shared by
+// concurrent estimates. seedstream must flag the field.
+type estimator struct {
+	seedCtr uint64
+}
+
+func (e *estimator) next() uint64 {
+	e.seedCtr++
+	return e.seedCtr
+}
+
+// advanced reproduces the PR 5 aliasing bug: comparing summed version
+// vectors. versiondominance must flag the comparison.
+func advanced(prevVers, nextVers []uint64) bool {
+	var ps, ns uint64
+	for _, v := range prevVers {
+		ps += v
+	}
+	for _, v := range nextVers {
+		ns += v
+	}
+	return ns > ps
+}
+
+// pair documents the persist Store order and then inverts it. lockorder
+// must flag the inverted acquisition.
+type pair struct {
+	// ckptMu serializes commits. Lock order: ckptMu before mu.
+	ckptMu sync.Mutex
+	mu     sync.Mutex
+	n      int
+}
+
+func (p *pair) inverted() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	p.n++
+}
+
+// staleWaiver suppresses an analyzer that has nothing to say about its
+// line: the suppress audit must flag the directive as stale.
+func staleWaiver() int {
+	//vsjlint:ignore errcmp fixture: stale by construction
+	return 1
+}

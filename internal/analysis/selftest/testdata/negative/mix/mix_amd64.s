@@ -1,0 +1,14 @@
+#include "textflag.h"
+
+// penalty is the PR 7 regression: a legacy-SSE MOVQ into X1 between VEX
+// instructions, paying the AVX-SSE transition penalty on every call.
+TEXT ·penalty(SB), NOSPLIT, $0-16
+	MOVQ p+0(FP), SI
+	VPXOR Y0, Y0, Y0
+	VMOVDQU (SI), Y1
+	MOVQ AX, X1
+	VPADDQ Y1, Y0, Y0
+	VMOVQ X0, AX
+	VZEROUPPER
+	MOVQ AX, ret+8(FP)
+	RET

@@ -1,0 +1,26 @@
+// Package persist is the intentionally-violating self-test fixture for
+// the persist-scoped analyzers: a direct os.* mutation (fsyncdiscipline)
+// and an unguarded decode (decodebounds). CI asserts vsjlint flags both.
+package persist
+
+import "os"
+
+// spill bypasses the injectable faultfs.FS: fsyncdiscipline must flag it.
+func spill(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// decodeHeader indexes its input with no length guard: decodebounds must
+// flag both accesses.
+func decodeHeader(data []byte) (byte, []byte) {
+	kind := data[0]
+	return kind, data[1:9]
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// SuppressName is the pseudo-analyzer that audits //vsjlint:ignore
+// directives themselves: malformed directives, unknown analyzer names, and
+// stale suppressions (the target line no longer triggers the named
+// analyzer) are all reported under it, so escapes stay visible exactly as
+// long as they are needed and not one commit longer.
+const SuppressName = "suppress"
+
+// A directive is one parsed //vsjlint:ignore comment.
+type directive struct {
+	pos      token.Position // of the directive itself
+	line     int            // line whose findings it suppresses
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// directivePrefix is spelled in two halves so the scanner's own string
+// literals never form a directive when vsjlint runs over this package.
+const directivePrefix = "//" + "vsjlint:ignore"
+
+var directiveArgsRe = regexp.MustCompile(`^(?:\s+(\S+))?(?:\s+(\S.*))?$`)
+
+// scanDirectives extracts suppression directives from one file's text. A
+// trailing directive (code before the comment) suppresses its own line; a
+// standalone directive line suppresses the line directly below it. The
+// textual scan deliberately covers non-Go files too, so assembly findings
+// (vexmix) are suppressable with the same syntax.
+func scanDirectives(path string, diags *[]Diagnostic) []directive {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // unreadable files simply have no directives
+	}
+	var out []directive
+	for i, lineText := range strings.Split(string(data), "\n") {
+		// Only a line's first comment can be a directive: prose that merely
+		// mentions //vsjlint:ignore inside another comment (docs, examples)
+		// is not one.
+		idx := strings.Index(lineText, "//")
+		if idx < 0 || !strings.HasPrefix(lineText[idx:], directivePrefix) {
+			continue
+		}
+		lineno := i + 1
+		pos := token.Position{Filename: path, Line: lineno, Column: idx + 1}
+		m := directiveArgsRe.FindStringSubmatch(lineText[idx+len(directivePrefix):])
+		if m == nil || m[1] == "" || m[2] == "" {
+			*diags = append(*diags, Diagnostic{
+				Analyzer: SuppressName,
+				Position: pos,
+				Message:  "malformed directive: want " + directivePrefix + " <analyzer> <reason>",
+			})
+			continue
+		}
+		target := lineno
+		if strings.TrimSpace(lineText[:idx]) == "" {
+			target = lineno + 1 // standalone comment line: suppress the next line
+		}
+		out = append(out, directive{pos: pos, line: target, analyzer: m[1], reason: m[2]})
+	}
+	return out
+}
+
+// applySuppressions filters diags through the directives found in files,
+// returning the surviving diagnostics plus the audit findings: unknown
+// analyzer names and stale directives. known maps valid analyzer names.
+func applySuppressions(files []string, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	var audit []Diagnostic
+	var dirs []directive
+	for _, f := range files {
+		dirs = append(dirs, scanDirectives(f, &audit)...)
+	}
+	for i := range dirs {
+		if !known[dirs[i].analyzer] {
+			audit = append(audit, Diagnostic{
+				Analyzer: SuppressName,
+				Position: dirs[i].pos,
+				Message:  fmt.Sprintf("directive names unknown analyzer %q", dirs[i].analyzer),
+			})
+			dirs[i].used = true // don't double-report it as stale
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for i := range dirs {
+			if dirs[i].analyzer == d.Analyzer &&
+				dirs[i].pos.Filename == d.Position.Filename &&
+				dirs[i].line == d.Position.Line {
+				dirs[i].used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			audit = append(audit, Diagnostic{
+				Analyzer: SuppressName,
+				Position: dir.pos,
+				Message: fmt.Sprintf("stale suppression: line %d no longer triggers %s — delete the directive",
+					dir.line, dir.analyzer),
+			})
+		}
+	}
+	return append(kept, audit...)
+}

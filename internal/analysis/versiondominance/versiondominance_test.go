@@ -1,0 +1,12 @@
+package versiondominance_test
+
+import (
+	"testing"
+
+	"lshjoin/internal/analysis/analysistest"
+	"lshjoin/internal/analysis/versiondominance"
+)
+
+func TestVersionDominance(t *testing.T) {
+	analysistest.Run(t, versiondominance.Analyzer, "testdata", "a")
+}

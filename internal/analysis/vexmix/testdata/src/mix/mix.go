@@ -1,0 +1,13 @@
+// Package mix is the vexmix fixture: assembly-backed declarations whose
+// bodies live in mix_amd64.s. The assembly distills the PR 7 regression —
+// a legacy-encoded MOVQ between VEX instructions — alongside the permitted
+// shapes: GPR-only MOVQ inside a VEX body, and a pure-SSE body.
+package mix
+
+func penalty(p *byte) uint64
+
+func gprOnly(p *byte) uint64
+
+func pureSSE(p *byte) uint64
+
+func suppressed(p *byte) uint64

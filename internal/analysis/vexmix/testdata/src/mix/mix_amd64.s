@@ -1,0 +1,42 @@
+#include "textflag.h"
+
+// penalty reproduces PR 7: a legacy-SSE MOVQ into X1 between VEX ops.
+TEXT ·penalty(SB), NOSPLIT, $0-16
+	MOVQ    p+0(FP), SI
+	VPXOR   Y0, Y0, Y0
+	MOVQ    AX, X1 // want `legacy-SSE MOVQ touches X1 inside VEX function ·penalty`
+	VPADDQ  Y1, Y0, Y0
+	VZEROUPPER
+	MOVQ    $0, ret+8(FP)
+	RET
+
+// gprOnly mixes VEX ops with GPR-only MOVQs: permitted, no XMM state touched.
+TEXT ·gprOnly(SB), NOSPLIT, $0-16
+	MOVQ    p+0(FP), SI
+	VPXOR   Y0, Y0, Y0
+	MOVQ    SI, AX
+	VPADDQ  Y0, Y0, Y0
+	VMOVQ   X0, CX
+	VZEROUPPER
+	MOVQ    CX, ret+8(FP)
+	RET
+
+// pureSSE never uses a VEX encoding, so legacy X-register ops are fine.
+TEXT ·pureSSE(SB), NOSPLIT, $0-16
+	MOVQ    p+0(FP), SI
+	PXOR    X0, X0
+	MOVOU   (SI), X1
+	PADDQ   X1, X0
+	MOVQ    X0, AX
+	MOVQ    AX, ret+8(FP)
+	RET
+
+// suppressed carries an explicit waiver with a reason: permitted.
+TEXT ·suppressed(SB), NOSPLIT, $0-16
+	MOVQ    p+0(FP), SI
+	VPXOR   Y0, Y0, Y0
+	MOVQ    AX, X1 //vsjlint:ignore vexmix fixture: waived to exercise suppression
+	VPADDQ  Y1, Y0, Y0
+	VZEROUPPER
+	MOVQ    $0, ret+8(FP)
+	RET

@@ -1,0 +1,140 @@
+// Package vexmix keeps the amd64 kernels VEX-only.
+//
+// Invariant encoded: inside a function body that uses VEX/AVX2 encodings
+// (any V-prefixed mnemonic — VPXOR, VMOVDQU, VZEROUPPER ...), no
+// instruction may use a legacy-SSE encoding that touches an X register.
+// Mixing the two makes the CPU save and restore the dirty upper YMM state
+// around every legacy instruction — the AVX-SSE transition penalty, tens
+// of cycles per occurrence, paid in the hottest loop of the signing
+// kernels. PR 7 shipped exactly this: a lone `MOVQ AX, X1` (legacy
+// encoding) between VEX ops, instead of `VMOVQ AX, X1`. The analyzer
+// parses the assembly textually (per TEXT block), so the fix is always
+// spelled the same way: use the V-form of the instruction, or move the
+// scalar through a GPR. GPR-only instructions (MOVQ AX, BX, loads, leas,
+// loop control) never touch XMM state and are always permitted.
+//
+// Raw byte sequences (BYTE/WORD/LONG/QUAD) are skipped: they encode
+// whatever they encode, and the repo's convention is to emit real
+// mnemonics, which is itself worth keeping greppable.
+package vexmix
+
+import (
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+
+	"lshjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "vexmix",
+	Doc: "no legacy-SSE instruction may touch an X register inside a VEX/AVX2 " +
+		"function body (AVX-SSE transition penalty, PR 7)",
+	Run: run,
+}
+
+// xReg matches an X (XMM) register operand, X0 through X15.
+var xReg = regexp.MustCompile(`\bX(1[0-5]|[0-9])\b`)
+
+// textRe extracts the symbol name from a TEXT directive.
+var textRe = regexp.MustCompile(`^TEXT\s+([^(,\s]+)`)
+
+// mnemonicRe matches an instruction mnemonic at the start of a line:
+// uppercase letters and digits (MOVQ, VPXOR, PCALIGN, SHA256MSG1).
+var mnemonicRe = regexp.MustCompile(`^[A-Z][A-Z0-9]*`)
+
+// skipMnemonics are directives and raw emitters, not instructions.
+var skipMnemonics = map[string]bool{
+	"TEXT": true, "GLOBL": true, "DATA": true, "FUNCDATA": true,
+	"PCDATA": true, "PCALIGN": true, "BYTE": true, "WORD": true,
+	"LONG": true, "QUAD": true, "NOP": true,
+}
+
+type insn struct {
+	line     int
+	mnemonic string
+	operands string
+}
+
+func run(pass *analysis.Pass) error {
+	for _, path := range pass.OtherFiles {
+		if !strings.HasSuffix(path, ".s") {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		checkFile(pass, path, string(data))
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, path, src string) {
+	var fn string     // current TEXT symbol, "" outside any body
+	var body []insn   // instructions of the current body
+	flush := func() { // analyze the finished body
+		if fn != "" {
+			checkBody(pass, path, fn, body)
+		}
+		body = body[:0]
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if j := strings.Index(line, "//"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m := textRe.FindStringSubmatch(line); m != nil {
+			flush()
+			fn = m[1]
+			continue
+		}
+		if strings.HasSuffix(line, ":") { // label
+			continue
+		}
+		m := mnemonicRe.FindString(line)
+		if m == "" || skipMnemonics[m] {
+			continue
+		}
+		body = append(body, insn{
+			line:     i + 1,
+			mnemonic: m,
+			operands: strings.TrimSpace(line[len(m):]),
+		})
+	}
+	flush()
+}
+
+// checkBody flags legacy-SSE instructions touching X registers in bodies
+// that use VEX encodings anywhere.
+func checkBody(pass *analysis.Pass, path, fn string, body []insn) {
+	hasVEX := false
+	for _, in := range body {
+		if isVEX(in.mnemonic) {
+			hasVEX = true
+			break
+		}
+	}
+	if !hasVEX {
+		return // pure-SSE or pure-GPR body: no transition to penalize
+	}
+	for _, in := range body {
+		if isVEX(in.mnemonic) || !xReg.MatchString(in.operands) {
+			continue
+		}
+		pass.ReportAtf(token.Position{Filename: path, Line: in.line, Column: 1},
+			"legacy-SSE %s touches %s inside VEX function %s: every such instruction pays the AVX-SSE transition penalty — use V%s or route through a GPR",
+			in.mnemonic, xReg.FindString(in.operands), fn, in.mnemonic)
+	}
+}
+
+// isVEX reports whether the mnemonic is a VEX/EVEX encoding: V followed by
+// another letter (VPXOR, VMOVQ, VZEROUPPER).
+func isVEX(m string) bool {
+	return len(m) >= 2 && m[0] == 'V' && m[1] >= 'A' && m[1] <= 'Z'
+}

@@ -1,0 +1,12 @@
+package vexmix_test
+
+import (
+	"testing"
+
+	"lshjoin/internal/analysis/analysistest"
+	"lshjoin/internal/analysis/vexmix"
+)
+
+func TestVexMix(t *testing.T) {
+	analysistest.Run(t, vexmix.Analyzer, "testdata", "mix")
+}

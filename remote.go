@@ -335,6 +335,7 @@ func (c *RemoteCollection) Version() (uint64, error) {
 	for _, sv := range vers {
 		v += sv
 	}
+	//vsjlint:ignore versiondominance monotone change counter per its doc; dominance callers use ShardVersions
 	return v, nil
 }
 

@@ -133,6 +133,7 @@ func (c *ShardedCollection) Version() uint64 {
 	for _, sv := range c.capture().Versions() {
 		v += sv
 	}
+	//vsjlint:ignore versiondominance monotone change counter per its doc; dominance callers use ShardVersions
 	return v
 }
 
